@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artefact (table or figure), asserts
+its qualitative *shape* (who wins, roughly by how much), and dumps the
+full rows to ``results/<name>.txt`` so the numbers survive the pytest run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def dump(name: str, text: str) -> Path:
+    """Write one experiment's rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    return path
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,47 @@
+"""Ablation — pipeline overlap depth (DESIGN.md §5).
+
+Depth 0 = fully synchronous (TC-GNN), depth 1 = single-buffer DTC
+pipeline, depth 2 = the paper's double-buffer least-bubble pipeline.
+Verifies each level of overlap monotonically removes bubbles.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.workloads import cached_reorder
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import A800
+from repro.kernels.accspmm import AccSpMMKernel
+from repro.sparse.datasets import load_dataset
+
+from _common import dump, once
+
+DEPTHS = [
+    ("depth0-sync", PipelineMode.SYNCHRONOUS),
+    ("depth1-dtc", PipelineMode.DTC),
+    ("depth2-acc", PipelineMode.ACC),
+]
+
+
+def run():
+    rows = []
+    for abbr in ("WB", "reddit"):
+        csr = load_dataset(abbr)
+        aff = cached_reorder(csr, "affinity", f"t2-{abbr}")
+        row = {"dataset": abbr}
+        for label, mode in DEPTHS:
+            kernel = AccSpMMKernel(reorder=aff, pipeline=mode)
+            plan = kernel.plan(csr, 128, A800)
+            prof = kernel.simulate(plan, 128, A800)
+            row[f"{label}_us"] = round(prof.time_s * 1e6, 3)
+            row[f"{label}_bubble"] = round(prof.bubble_fraction, 4)
+        rows.append(row)
+    return rows
+
+
+def test_ablation_pipeline_depth(benchmark):
+    rows = once(benchmark, run)
+    for r in rows:
+        assert r["depth2-acc_us"] <= r["depth1-dtc_us"] <= r["depth0-sync_us"]
+        assert r["depth2-acc_bubble"] <= r["depth0-sync_bubble"]
+    dump("ablation_pipeline_depth", format_table(
+        rows, "Pipeline depth ablation (A800, B=128)"
+    ))

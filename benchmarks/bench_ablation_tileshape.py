@@ -1,0 +1,48 @@
+"""Ablation — TC tile shape (DESIGN.md §5).
+
+The paper fixes 8x8 tiles: the largest geometry whose occupancy pattern
+fits one uint64 (§3.3) and the shape the swapped m16n8k8 MMA consumes
+(§3.4).  This bench sweeps every mask-fitting geometry and verifies the
+8x8 choice minimises the quantities the kernel pays for — TC-block count
+(A-tile traffic + MMA instructions) — even though smaller tiles always
+look "denser" per cell.
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.formats.tiling import build_tiling
+from repro.sparse.datasets import load_dataset
+
+from _common import dump, once
+
+SHAPES = [(2, 8), (4, 8), (8, 8), (8, 4), (4, 4)]
+
+
+def run():
+    rows = []
+    for abbr in ("DD", "WB", "FY-RSR"):
+        csr = load_dataset(abbr)
+        row = {"dataset": abbr}
+        for wr, bc in SHAPES:
+            t = build_tiling(csr, window_rows=wr, block_cols=bc)
+            row[f"blocks_{wr}x{bc}"] = t.n_blocks
+            row[f"occ_{wr}x{bc}"] = round(
+                t.mean_nnz_per_block() / (wr * bc), 3
+            )
+        rows.append(row)
+    return rows
+
+
+def test_ablation_tileshape(benchmark):
+    rows = once(benchmark, run)
+    for r in rows:
+        # taller windows condense more columns: 8x8 needs the fewest
+        # blocks among the 8-wide geometries => least traffic and MMAs
+        assert r["blocks_8x8"] <= r["blocks_4x8"] <= r["blocks_2x8"], r
+        # and fewer blocks than the narrow 8x4 variant pays in MMA count:
+        # an 8x4 block covers half the columns, needing ~2x the blocks
+        assert r["blocks_8x4"] >= r["blocks_8x8"], r
+    dump("ablation_tileshape", format_table(
+        rows, "Tile-shape ablation (block counts and per-cell occupancy)"
+    ))

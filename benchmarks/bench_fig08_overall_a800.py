@@ -1,0 +1,36 @@
+"""Figure 8 — overall speedup and GFLOPS on A800.
+
+Paper shape: mean ~1.9x over cuSPARSE (between the 4090's 2.5x and the
+H100's 1.6x); Sputnik is the strongest CUDA-core baseline on reddit.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig8
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+
+def test_fig08_overall_a800(benchmark):
+    rows = once(benchmark, fig8, quiet=True)
+    by_ds = {r["dataset"]: r for r in rows}
+    mean_sp = float(np.mean([r["acc_speedup"] for r in rows]))
+    assert 1.4 <= mean_sp <= 3.0
+    # acc wins everywhere except possibly the dense unstructured dataset
+    # (paper §4.2: Sputnik "demonstrates superior performance" on its
+    # densest graph on A800 — in our scaled twins that role falls to
+    # protein, whose weak community structure gives reordering no grip)
+    for r in rows:
+        slack = 0.90 if r["dataset"] == "protein" else 0.97
+        for k in ("sputnik", "sparsetir", "tcgnn", "dtc"):
+            assert r["acc_speedup"] >= r[f"{k}_speedup"] * slack, r["dataset"]
+    # Sputnik is the best CUDA-core kernel on the dense social graphs
+    reddit = by_ds["reddit"]
+    assert reddit["sputnik_speedup"] >= reddit["sparsetir_speedup"]
+    assert reddit["sputnik_speedup"] > 1.2
+    dump("fig08", format_table(
+        [{k: (round(v, 3) if isinstance(v, float) else v)
+          for k, v in r.items()} for r in rows],
+        f"Figure 8 — A800 (mean acc speedup {mean_sp:.2f}x)",
+    ))

@@ -1,0 +1,56 @@
+"""Figure 9 — overall speedup and GFLOPS on H100.
+
+Paper shape: cuSPARSE improves dramatically on H100 (HBM3 + sparsity
+hardware), so the mean Acc-SpMM speedup shrinks to ~1.6x and several
+baselines drop below the cuSPARSE line — yet Acc-SpMM still wins.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig7, fig8, fig9
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+
+def test_fig09_overall_h100(benchmark):
+    rows = once(benchmark, fig9, quiet=True)
+    mean_sp = float(np.mean([r["acc_speedup"] for r in rows]))
+    assert 1.1 <= mean_sp <= 2.2
+    # Acc still wins on every dataset even against the stronger cuSPARSE
+    # (protein exempted as in Figure 8: Sputnik's dense-row edge)
+    for r in rows:
+        assert r["acc_speedup"] >= 1.0, r["dataset"]
+        slack = 0.90 if r["dataset"] == "protein" else 0.97
+        for k in ("sputnik", "sparsetir", "tcgnn", "dtc"):
+            assert r["acc_speedup"] >= r[f"{k}_speedup"] * slack, r["dataset"]
+    # at least one baseline falls below the cuSPARSE line (paper Fig. 9)
+    below = [
+        r["dataset"] for r in rows
+        if min(r["sputnik_speedup"], r["sparsetir_speedup"],
+               r["tcgnn_speedup"]) < 1.0
+    ]
+    assert below, "expected some baselines below cuSPARSE on H100"
+    dump("fig09", format_table(
+        [{k: (round(v, 3) if isinstance(v, float) else v)
+          for k, v in r.items()} for r in rows],
+        f"Figure 9 — H100 (mean acc speedup {mean_sp:.2f}x)",
+    ))
+
+
+def test_fig789_cross_device_trend(benchmark):
+    """The headline trend: 4090 speedup > A800 speedup > H100 speedup."""
+    def all_three():
+        return (
+            fig7(quiet=True), fig8(quiet=True), fig9(quiet=True)
+        )
+
+    r4090, r800, r100 = once(benchmark, all_three)
+    means = [
+        float(np.mean([r["acc_speedup"] for r in rows]))
+        for rows in (r4090, r800, r100)
+    ]
+    assert means[0] > means[1] > means[2], means
+    dump("fig789_trend", "mean acc/cuSPARSE speedups: "
+         f"RTX4090={means[0]:.2f} A800={means[1]:.2f} H100={means[2]:.2f}\n"
+         "paper: 2.52 / 1.91 / 1.58\n")

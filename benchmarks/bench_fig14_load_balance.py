@@ -1,0 +1,26 @@
+"""Figure 14 — adaptive load balancing on imbalanced (type-2) matrices.
+
+Paper shape: on A800 and H100, balancing raises *both* compute throughput
+and memory throughput on the imbalanced datasets.
+"""
+
+from repro.bench.experiments import fig14
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+
+def test_fig14_load_balance(benchmark):
+    rows = once(benchmark, fig14, quiet=True)
+    assert {r["device"] for r in rows} == {"A800", "H100"}
+    for r in rows:
+        tag = f'{r["device"]}/{r["dataset"]}'
+        # balancing never slows these matrices down...
+        assert r["time_speedup"] >= 0.999, tag
+        # ...and lifts both throughputs (they are work/time with the same
+        # or more work over less time)
+        assert r["compute_TFLOPs_on"] >= r["compute_TFLOPs_off"] * 0.999, tag
+        assert r["mem_GBs_on"] >= r["mem_GBs_off"] * 0.999, tag
+    # at least one matrix shows a substantive (>5%) gain
+    assert max(r["time_speedup"] for r in rows) > 1.05
+    dump("fig14", format_table(rows, "Figure 14 — load balancing"))

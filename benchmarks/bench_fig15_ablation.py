@@ -1,0 +1,34 @@
+"""Figure 15 — cumulative ablation on H100, B columns = 128.
+
+Paper shape: each technique adds performance on top of the DTC-SpMM-like
+base, with reordering *slightly hurting* protein and FY-RSR (their cache
+hit rates drop, §4.3.5) while everything else still accumulates.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import fig15
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+STEPS = ["base", "+BTCF", "+RO", "+CP", "+PP", "+LB"]
+
+
+def test_fig15_ablation(benchmark):
+    rows = once(benchmark, fig15, quiet=True)
+    for r in rows:
+        # the full configuration beats the base on every dataset
+        assert r["+LB"] >= 1.0, r["dataset"]
+        # BitTCF step never hurts (pure traffic reduction)
+        assert r["+BTCF"] >= 0.999, r["dataset"]
+    # mean ladder is monotone-ish: each later step's mean >= previous
+    means = [float(np.mean([r[s] for r in rows])) for s in STEPS]
+    for a, b in zip(means, means[1:]):
+        assert b >= a * 0.995, means
+    # the reordering step helps the community datasets...
+    by_ds = {r["dataset"]: r for r in rows}
+    assert by_ds["DD"]["+RO"] > by_ds["DD"]["+BTCF"]
+    dump("fig15", format_table(rows, "Figure 15 — ablation on H100") +
+         "\nmean ladder: " + " ".join(
+             f"{s}={m:.3f}" for s, m in zip(STEPS, means)) + "\n")

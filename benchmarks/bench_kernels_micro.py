@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the library's own hot paths (wall-clock).
+
+These time the *reproduction's* Python code (pytest-benchmark statistics
+are meaningful here, unlike the single-shot figure drivers): format
+conversion, tiling, numeric SpMM execution, and planning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats import BitTCF, MeTCF, build_tiling
+from repro.gpusim.specs import A800
+from repro.kernels.accspmm import AccSpMMKernel
+from repro.sparse.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dd():
+    return load_dataset("DD")
+
+
+@pytest.fixture(scope="module")
+def dd_b(dd):
+    rng = np.random.default_rng(0)
+    return rng.uniform(0.1, 1.0, (dd.n_cols, 128)).astype(np.float32)
+
+
+def test_bench_tiling(benchmark, dd):
+    t = benchmark(build_tiling, dd)
+    assert t.n_blocks > 0
+
+
+def test_bench_bittcf_conversion(benchmark, dd):
+    fmt = benchmark(BitTCF.from_csr, dd)
+    assert fmt.tiling.nnz == dd.nnz
+
+
+def test_bench_metcf_conversion(benchmark, dd):
+    fmt = benchmark(MeTCF.from_csr, dd)
+    assert fmt.tiling.nnz == dd.nnz
+
+
+def test_bench_numeric_execute(benchmark, dd, dd_b):
+    kernel = AccSpMMKernel(reorder=False)
+    plan = kernel.plan(dd, 128, A800)
+    C = benchmark(kernel.execute, plan, dd_b)
+    assert C.shape == (dd.n_rows, 128)
+
+
+def test_bench_simulate(benchmark, dd):
+    kernel = AccSpMMKernel(reorder=False)
+    plan = kernel.plan(dd, 128, A800)
+    prof = benchmark(kernel.simulate, plan, 128, A800)
+    assert prof.time_s > 0
+
+
+def test_bench_reference_matmat(benchmark, dd, dd_b):
+    C = benchmark(dd.matmat, dd_b.astype(np.float64))
+    assert C.shape == (dd.n_rows, 128)

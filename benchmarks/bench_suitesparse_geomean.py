@@ -1,0 +1,23 @@
+"""§4.2 geomean over the SuiteSparse-like collection, all three devices.
+
+Paper shape: positive geomean speedup over cuSPARSE on every device, in
+the same 4090 > A800 > H100 order as the Table-2 datasets.
+"""
+
+from repro.bench.experiments import geomean_suite
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+
+def test_suitesparse_geomean(benchmark):
+    rows = once(benchmark, geomean_suite, quiet=True)
+    by_dev = {r["device"]: r for r in rows}
+    for r in rows:
+        assert r["geomean_speedup"] > 1.0, r["device"]
+    assert (
+        by_dev["RTX 4090"]["geomean_speedup"]
+        > by_dev["A800"]["geomean_speedup"]
+        > by_dev["H100"]["geomean_speedup"]
+    )
+    dump("geomean", format_table(rows, "SuiteSparse-like geomean"))

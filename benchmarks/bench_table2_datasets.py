@@ -1,0 +1,19 @@
+"""Table 2 — dataset statistics (paper vs built synthetic twins)."""
+
+from repro.bench.experiments import table2
+from repro.bench.reporting import format_table
+
+from _common import dump, once
+
+
+def test_table2_datasets(benchmark):
+    rows = once(benchmark, table2, quiet=True)
+    assert len(rows) == 10
+    # the type classification must match the paper's exactly
+    paper_type2 = {"FY-RSR", "reddit", "protein"}
+    built_type2 = {r["abbr"] for r in rows if r["type"] == 2}
+    assert built_type2 == paper_type2
+    # AvgL ordering (YH < ... < protein within class) is preserved
+    avgl = [r["AvgL(built)"] for r in rows]
+    assert avgl[-3:] == sorted(avgl[-3:]) or min(avgl[-3:]) > max(avgl[:-3])
+    dump("table2", format_table(rows, "Table 2 — datasets"))

@@ -1,0 +1,18 @@
+"""Table 3 — the GPU architectures used for the experiments."""
+
+from repro.bench.experiments import table3
+from repro.bench.reporting import format_table
+from repro.gpusim import A800, H100, RTX4090
+
+from _common import dump, once
+
+
+def test_table3_devices(benchmark):
+    rows = once(benchmark, table3, quiet=True)
+    assert len(rows) == 3
+    assert {r["GPU"] for r in rows} == {"RTX 4090", "A800", "H100"}
+    # Table 3 headline numbers
+    assert RTX4090.tf32_tflops == 82.6 and RTX4090.mem_bw_gbs == 1008.0
+    assert A800.tf32_tflops == 156.0 and A800.mem_bw_gbs == 1935.0
+    assert H100.tf32_tflops == 494.7 and H100.mem_bw_gbs == 3350.0
+    dump("table3", format_table(rows, "Table 3 — GPU architectures"))

@@ -1,0 +1,72 @@
+"""Multi-source personalised PageRank via iterated SpMM.
+
+Graph-analytics workloads (§1: "graph analysis") run SpMM repeatedly
+against the same adjacency — the regime where Acc-SpMM's one-time
+reordering and format conversion pay for themselves.  This example ranks
+vertices of the web-BerkStan twin from 64 seed vertices simultaneously
+(one dense column per seed) and compares the converged scores against an
+exact float64 power iteration.
+
+Run::
+
+    python examples/graph_analytics.py
+"""
+
+import numpy as np
+
+import repro
+from repro.kernels import reference_spmm
+
+
+def column_normalised(A: "repro.CSRMatrix") -> "repro.CSRMatrix":
+    """Column-stochastic transition matrix P with P_ij = A_ij / deg_j."""
+    col_deg = np.zeros(A.n_cols)
+    np.add.at(col_deg, A.indices, 1.0)
+    scale = 1.0 / np.maximum(col_deg, 1.0)
+    vals = (A.vals * scale[A.indices]).astype(np.float32)
+    return repro.CSRMatrix(A.n_rows, A.n_cols, A.indptr, A.indices, vals)
+
+
+def main() -> None:
+    A = column_normalised(repro.load_dataset("WB"))
+    n = A.n_rows
+    n_seeds, alpha, iters = 64, 0.85, 20
+
+    rng = np.random.default_rng(7)
+    seeds = rng.choice(n, size=n_seeds, replace=False)
+    restart = np.zeros((n, n_seeds), dtype=np.float32)
+    restart[seeds, np.arange(n_seeds)] = 1.0
+
+    plan = repro.plan(A, feature_dim=n_seeds, device="a800")
+    print(f"plan: {plan.stats}")
+
+    # accelerated iteration
+    X = restart.copy()
+    for _ in range(iters):
+        X = alpha * plan.multiply(X) + (1.0 - alpha) * restart
+
+    # exact float64 power iteration for comparison
+    X_ref = restart.astype(np.float64)
+    for _ in range(iters):
+        X_ref = alpha * reference_spmm(A, X_ref) + (1 - alpha) * restart
+
+    drift = np.abs(X - X_ref).max()
+    print(f"{iters} iterations x {n_seeds} seeds on n={n}")
+    print(f"max |acc - exact| after {iters} iters: {drift:.2e}")
+    assert drift < 1e-2, "TF32 drift out of bounds"
+
+    # top-5 ranked vertices for the first seed agree with the reference
+    top_acc = np.argsort(-X[:, 0])[:5]
+    top_ref = np.argsort(-X_ref[:, 0])[:5]
+    print("top-5 (acc):", top_acc.tolist())
+    print("top-5 (ref):", top_ref.tolist())
+    overlap = len(set(top_acc.tolist()) & set(top_ref.tolist()))
+    print(f"top-5 overlap: {overlap}/5")
+
+    prof = plan.profile()
+    print(f"simulated per-iteration cost on {prof.device}: "
+          f"{prof.time_s*1e6:.1f} us ({prof.gflops:.0f} GFLOPS)")
+
+
+if __name__ == "__main__":
+    main()

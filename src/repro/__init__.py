@@ -1,0 +1,71 @@
+"""repro — a full reproduction of Acc-SpMM (PPoPP 2025).
+
+Acc-SpMM accelerates general-purpose SpMM on GPU tensor cores with four
+coupled techniques: data-affinity-based reordering, the BitTCF compressed
+format, a least-bubble double-buffer pipeline, and adaptive sparsity-aware
+load balancing.  This package implements the paper's contribution *and*
+every substrate it depends on — sparse containers, graph algorithms, six
+baseline reorderers, three tiled formats, five rival SpMM kernels, and a
+calibrated GPU timing/cache simulator standing in for the RTX 4090 / A800
+/ H100 testbeds (see DESIGN.md for the substitution map).
+
+Quick start::
+
+    import numpy as np
+    import repro
+
+    A = repro.load_dataset("DD")                 # Table-2 synthetic twin
+    B = np.random.rand(A.n_cols, 128).astype(np.float32)
+    C = repro.spmm(A, B, device="a800")
+
+    p = repro.plan(A, feature_dim=128, device="a800")
+    print(p.stats)                                # ordering/format/schedule
+    print(p.profile().summary())                  # simulated GFLOPS etc.
+"""
+
+from repro.core import AccConfig, AccPlan, plan, spmm
+from repro.errors import (
+    ConvergenceError,
+    FormatError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.gpusim import DEVICES, get_device
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    coo_to_csr,
+    csr_to_coo,
+    load_dataset,
+    list_datasets,
+    load_matrix_market,
+    matrix_stats,
+    save_matrix_market,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccConfig",
+    "AccPlan",
+    "plan",
+    "spmm",
+    "ReproError",
+    "ValidationError",
+    "FormatError",
+    "SimulationError",
+    "ConvergenceError",
+    "DEVICES",
+    "get_device",
+    "COOMatrix",
+    "CSRMatrix",
+    "coo_to_csr",
+    "csr_to_coo",
+    "load_dataset",
+    "list_datasets",
+    "load_matrix_market",
+    "save_matrix_market",
+    "matrix_stats",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Adaptive sparsity-aware load balancing (§3.5).
+
+Three pieces:
+
+* :mod:`ibd` — the imbalance metric of Equation (3) with the paper's
+  activation threshold (IBD > 8);
+* :mod:`perfmodel` — the per-TB time model of Equation (4), including the
+  write-back term that distinguishes Acc-SpMM's balancer from DTC-SpMM's;
+* :mod:`scheduler` — TB assignment builders: the unbalanced one-TB-per-
+  RowWindow layout, DTC-style fixed chunking, and the adaptive
+  performance-model-driven redistribution capped at 32 TC blocks per TB.
+"""
+
+from repro.balance.ibd import IBD_THRESHOLD, imbalance_degree, needs_balancing
+from repro.balance.perfmodel import PerfModelParams, tb_time_model
+from repro.balance.scheduler import (
+    MAX_BLOCKS_PER_TB,
+    TBAssignment,
+    adaptive_schedule,
+    balanced_schedule,
+    dtc_schedule,
+    row_window_schedule,
+)
+
+__all__ = [
+    "IBD_THRESHOLD",
+    "imbalance_degree",
+    "needs_balancing",
+    "PerfModelParams",
+    "tb_time_model",
+    "MAX_BLOCKS_PER_TB",
+    "TBAssignment",
+    "adaptive_schedule",
+    "balanced_schedule",
+    "dtc_schedule",
+    "row_window_schedule",
+]

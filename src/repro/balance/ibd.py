@@ -1,0 +1,33 @@
+"""Imbalance degree — Equation (3).
+
+    IBD = sum(|TCBlockPerRowWindow - AvgTCBlock|) / NumOfRowWindow
+
+i.e. the mean absolute deviation of per-RowWindow TC-block counts.  "When
+IBD exceeds 8, we consider the matrix to be highly imbalanced, thereby
+necessitating the application of a load balancing method."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.tiling import RowWindowTiling
+
+#: Paper's activation threshold for load balancing.
+IBD_THRESHOLD = 8.0
+
+
+def imbalance_degree(tiling: RowWindowTiling) -> float:
+    """Equation (3) over the tiling's per-window block counts."""
+    per_window = tiling.blocks_per_window().astype(np.float64)
+    if per_window.size == 0:
+        return 0.0
+    avg = per_window.mean()
+    return float(np.abs(per_window - avg).mean())
+
+
+def needs_balancing(
+    tiling: RowWindowTiling, threshold: float = IBD_THRESHOLD
+) -> bool:
+    """The adaptive decision: balance only when IBD exceeds the threshold."""
+    return imbalance_degree(tiling) > threshold

@@ -1,0 +1,96 @@
+"""Per-TB performance model — Equation (4).
+
+    T = LoadDenseTime + MMATime + WBTime
+
+with (paper notation, M=8, K=8, N=16 after the operand swap):
+
+* ``LoadDenseTime = K * FeatureDim * TcBlockPerTB / Bandwidth``
+* ``MMATime      = M * (2K - 1) * FeatureDim / FLOPS``  (per TC block)
+* ``WBTime``      — the write-back term, the paper's addition over
+  DTC-SpMM's model: every RowWindow segment a TB touches must flush an
+  ``M x FeatureDim`` tile of C, so concatenating or splitting RowWindows
+  costs extra write-backs.
+
+We implement the model in bytes/flops (multiplying the element counts by
+4-byte words) and sum the MMA term over the TB's blocks; both are
+described per-element in the paper's prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpusim.specs import DeviceSpec
+
+
+@dataclass(frozen=True)
+class PerfModelParams:
+    """Inputs to Equation (4) for one device/workload pair."""
+
+    feature_dim: int  # FeatureDim: dense-B columns
+    bandwidth: float  # bytes/s the TB can draw (theoretical, per paper)
+    flops: float  # TF32 flop/s available to the TB
+    m: int = 8  # A-tile rows (after swap)
+    k: int = 8  # A-tile cols
+
+    def __post_init__(self) -> None:
+        if self.feature_dim <= 0:
+            raise ValidationError("feature_dim must be positive")
+        if self.bandwidth <= 0 or self.flops <= 0:
+            raise ValidationError("bandwidth and flops must be positive")
+
+    @staticmethod
+    def for_device(spec: DeviceSpec, feature_dim: int) -> "PerfModelParams":
+        """Paper parameterisation: theoretical BW and TF32 FLOPS (Table 3)."""
+        return PerfModelParams(
+            feature_dim=feature_dim,
+            bandwidth=spec.mem_bw,
+            flops=spec.tf32_flops,
+        )
+
+
+def load_dense_time(params: PerfModelParams, blocks_per_tb) -> np.ndarray:
+    """Dense-B tile load time for TBs holding ``blocks_per_tb`` blocks."""
+    blocks = np.asarray(blocks_per_tb, dtype=np.float64)
+    bytes_b = params.k * params.feature_dim * 4.0 * blocks
+    return bytes_b / params.bandwidth
+
+
+def mma_time(params: PerfModelParams, blocks_per_tb) -> np.ndarray:
+    """Tensor-core time: ``M*(2K-1)*FeatureDim`` flops per TC block."""
+    blocks = np.asarray(blocks_per_tb, dtype=np.float64)
+    flops = params.m * (2 * params.k - 1) * params.feature_dim * blocks
+    return flops / params.flops
+
+
+def writeback_time(params: PerfModelParams, segments_per_tb) -> np.ndarray:
+    """C flush time: one ``M x FeatureDim`` fp32 tile per window segment."""
+    segs = np.asarray(segments_per_tb, dtype=np.float64)
+    bytes_c = params.m * params.feature_dim * 4.0 * segs
+    return bytes_c / params.bandwidth
+
+
+def tb_time_model(
+    params: PerfModelParams,
+    blocks_per_tb,
+    segments_per_tb=None,
+    include_writeback: bool = True,
+) -> np.ndarray:
+    """Equation (4): per-TB predicted time.
+
+    ``include_writeback=False`` reproduces DTC-SpMM's model (no WB term) —
+    the ablation Figure 14 builds on.
+    """
+    blocks = np.asarray(blocks_per_tb, dtype=np.float64)
+    t = load_dense_time(params, blocks) + mma_time(params, blocks)
+    if include_writeback:
+        segs = (
+            np.ones_like(blocks)
+            if segments_per_tb is None
+            else np.asarray(segments_per_tb, dtype=np.float64)
+        )
+        t = t + writeback_time(params, segs)
+    return t

@@ -1,0 +1,192 @@
+"""TB assignment builders — who computes which TC blocks.
+
+Three strategies, matching Figure 6 and §3.5:
+
+* :func:`row_window_schedule` — no balancing: one TB per RowWindow, one
+  write-back each (Figure 6a).
+* :func:`dtc_schedule` — DTC-SpMM's balancing: long RowWindows are split
+  into fixed-size chunks, short ones stay whole; its model ignores
+  write-back cost.
+* :func:`balanced_schedule` — Acc-SpMM: TC blocks are re-chunked across
+  window boundaries so Equation-4 times come out nearly uniform; the chunk
+  size is chosen by sweeping candidates through the performance model
+  (write-back term included) and respecting the 32-blocks/TB cap.
+* :func:`adaptive_schedule` — applies :func:`balanced_schedule` only when
+  IBD exceeds the threshold (Equation 3), else the unbalanced layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.balance.ibd import IBD_THRESHOLD, imbalance_degree
+from repro.balance.perfmodel import PerfModelParams, tb_time_model
+from repro.errors import ValidationError
+from repro.formats.tiling import RowWindowTiling
+from repro.gpusim.specs import DeviceSpec
+
+#: Paper's hard cap on TC blocks per thread block.
+MAX_BLOCKS_PER_TB = 32
+
+
+@dataclass(frozen=True)
+class TBAssignment:
+    """Partition of the global TC-block sequence into thread blocks.
+
+    Attributes
+    ----------
+    tb_start, tb_end:
+        TB ``i`` owns blocks ``tb_start[i]:tb_end[i]`` (global block ids,
+        which are RowWindow-major by construction).
+    segments_per_tb:
+        Number of distinct RowWindows TB ``i`` touches = number of C
+        write-backs it performs (cross-row write-back, Figure 6b).
+    balanced:
+        Whether a balancing strategy produced this assignment.
+    strategy:
+        Human-readable provenance ("row-window", "dtc", "acc-balanced").
+    """
+
+    tb_start: np.ndarray
+    tb_end: np.ndarray
+    segments_per_tb: np.ndarray
+    balanced: bool
+    strategy: str
+
+    def __post_init__(self) -> None:
+        if not (self.tb_start.size == self.tb_end.size == self.segments_per_tb.size):
+            raise ValidationError("assignment arrays must align")
+        if (self.tb_end < self.tb_start).any():
+            raise ValidationError("tb_end must be >= tb_start")
+
+    @property
+    def n_tbs(self) -> int:
+        return int(self.tb_start.size)
+
+    def blocks_per_tb(self) -> np.ndarray:
+        return self.tb_end - self.tb_start
+
+    def validate_against(self, tiling: RowWindowTiling) -> None:
+        """Invariant: every TC block scheduled exactly once, in order."""
+        if self.n_tbs == 0:
+            if tiling.n_blocks != 0:
+                raise ValidationError("empty schedule for non-empty tiling")
+            return
+        if self.tb_start[0] != 0 or self.tb_end[-1] != tiling.n_blocks:
+            raise ValidationError("schedule does not cover all TC blocks")
+        if (self.tb_start[1:] != self.tb_end[:-1]).any():
+            raise ValidationError("schedule has gaps or overlaps")
+
+
+def _segments_for_chunks(
+    tiling: RowWindowTiling, starts: np.ndarray, ends: np.ndarray
+) -> np.ndarray:
+    """Distinct RowWindows per chunk (block ids are window-major)."""
+    bw = tiling.block_window
+    if bw.size == 0:
+        return np.zeros(starts.size, dtype=np.int64)
+    first = bw[starts]
+    last = bw[np.maximum(ends - 1, starts)]
+    return (last - first + 1).astype(np.int64)
+
+
+def row_window_schedule(tiling: RowWindowTiling) -> TBAssignment:
+    """One TB per non-empty RowWindow (Figure 6a)."""
+    rwo = tiling.row_window_offset
+    nonempty = np.flatnonzero(np.diff(rwo) > 0)
+    starts = rwo[nonempty]
+    ends = rwo[nonempty + 1]
+    return TBAssignment(
+        tb_start=starts.astype(np.int64),
+        tb_end=ends.astype(np.int64),
+        segments_per_tb=np.ones(starts.size, dtype=np.int64),
+        balanced=False,
+        strategy="row-window",
+    )
+
+
+def dtc_schedule(
+    tiling: RowWindowTiling, chunk: int = MAX_BLOCKS_PER_TB
+) -> TBAssignment:
+    """DTC-SpMM balancing: split long windows into fixed chunks.
+
+    Windows are never concatenated — a TB with one TC block still costs a
+    full launch slot (the Figure 6a inefficiency the paper's balancer
+    removes).
+    """
+    starts_list, ends_list = [], []
+    rwo = tiling.row_window_offset
+    for w in range(tiling.n_windows):
+        lo, hi = int(rwo[w]), int(rwo[w + 1])
+        if lo == hi:
+            continue
+        for s in range(lo, hi, chunk):
+            starts_list.append(s)
+            ends_list.append(min(s + chunk, hi))
+    starts = np.asarray(starts_list, dtype=np.int64)
+    ends = np.asarray(ends_list, dtype=np.int64)
+    return TBAssignment(
+        tb_start=starts,
+        tb_end=ends,
+        segments_per_tb=np.ones(starts.size, dtype=np.int64),
+        balanced=True,
+        strategy="dtc",
+    )
+
+
+def balanced_schedule(
+    tiling: RowWindowTiling,
+    device: DeviceSpec,
+    feature_dim: int,
+    cap: int = MAX_BLOCKS_PER_TB,
+) -> TBAssignment:
+    """Acc-SpMM balancing: even chunks chosen via the Equation-4 model.
+
+    The candidate chunk sizes ``1..cap`` are scored by predicted makespan:
+    ``ceil(n_tbs / parallel_slots) * T(chunk)`` with ``T`` from
+    :func:`~repro.balance.perfmodel.tb_time_model` *including* write-back
+    cost (splitting windows adds write-backs; concatenating windows adds
+    per-window flushes inside one TB — both priced in).
+    """
+    n_blocks = tiling.n_blocks
+    if n_blocks == 0:
+        return row_window_schedule(tiling)
+    params = PerfModelParams.for_device(device, feature_dim)
+    slots = device.n_sms * device.max_tb_per_sm
+
+    best_chunk, best_cost = 1, np.inf
+    for chunk in range(1, cap + 1):
+        starts = np.arange(0, n_blocks, chunk, dtype=np.int64)
+        ends = np.minimum(starts + chunk, n_blocks)
+        segs = _segments_for_chunks(tiling, starts, ends)
+        times = tb_time_model(
+            params, ends - starts, segs, include_writeback=True
+        )
+        waves = -(-starts.size // slots)
+        cost = waves * float(times.max())
+        if cost < best_cost - 1e-18:
+            best_cost, best_chunk = cost, chunk
+    starts = np.arange(0, n_blocks, best_chunk, dtype=np.int64)
+    ends = np.minimum(starts + best_chunk, n_blocks)
+    return TBAssignment(
+        tb_start=starts,
+        tb_end=ends,
+        segments_per_tb=_segments_for_chunks(tiling, starts, ends),
+        balanced=True,
+        strategy="acc-balanced",
+    )
+
+
+def adaptive_schedule(
+    tiling: RowWindowTiling,
+    device: DeviceSpec,
+    feature_dim: int,
+    threshold: float = IBD_THRESHOLD,
+    cap: int = MAX_BLOCKS_PER_TB,
+) -> TBAssignment:
+    """The adaptive decision of §3.5: balance only imbalanced matrices."""
+    if imbalance_degree(tiling) > threshold:
+        return balanced_schedule(tiling, device, feature_dim, cap=cap)
+    return row_window_schedule(tiling)

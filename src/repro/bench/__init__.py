@@ -1,0 +1,24 @@
+"""Benchmark harness: workload registry, experiment drivers, reporting.
+
+Every table and figure in the paper's evaluation has a driver in
+:mod:`repro.bench.experiments`; ``python -m repro.bench.experiments fig8``
+prints the corresponding rows.  The ``benchmarks/`` directory wraps the
+same drivers in pytest-benchmark entry points.
+"""
+
+from repro.bench.workloads import (
+    cached_reorder,
+    suitesparse_like_collection,
+    table2_matrices,
+)
+from repro.bench.reporting import format_table, geomean
+from repro.bench.runner import run_kernel_suite
+
+__all__ = [
+    "cached_reorder",
+    "suitesparse_like_collection",
+    "table2_matrices",
+    "format_table",
+    "geomean",
+    "run_kernel_suite",
+]

@@ -1,0 +1,374 @@
+"""Experiment drivers — one per table/figure in the paper's evaluation.
+
+Run from the command line::
+
+    python -m repro.bench.experiments table2
+    python -m repro.bench.experiments fig8
+    python -m repro.bench.experiments all
+
+Each driver returns the rows it printed, so the pytest benchmarks and the
+EXPERIMENTS.md generator reuse the same code.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.balance.ibd import imbalance_degree
+from repro.bench.reporting import format_table, geomean
+from repro.bench.runner import run_kernel_suite, suite_summary
+from repro.bench.workloads import (
+    cached_reorder,
+    suitesparse_like_collection,
+    table2_matrices,
+)
+from repro.core.config import AccConfig
+from repro.formats import BitTCF, MeTCF, TCF, build_tiling, format_footprint
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import DEVICES, get_device
+from repro.kernels.accspmm import AccSpMMKernel
+from repro.reorder.metrics import mean_nnz_per_tc_block
+from repro.sparse.datasets import DATASETS, list_datasets
+from repro.sparse.stats import matrix_stats
+from repro.util.timing import Timer
+
+#: Figure-10 reordering lineup (paper order).
+FIG10_METHODS = (
+    "metis", "louvain", "sgt", "lsh64", "dtc-lsh", "rabbit", "affinity",
+)
+
+
+# ----------------------------------------------------------------------
+def table2(quiet: bool = False) -> list[dict]:
+    """Table 2: dataset statistics (paper original vs our synthetic twin)."""
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        spec = DATASETS[abbr]
+        s = matrix_stats(csr)
+        rows.append({
+            "dataset": spec.name,
+            "abbr": abbr,
+            "rows(paper)": spec.paper_rows,
+            "nnz(paper)": spec.paper_nnz,
+            "AvgL(paper)": spec.paper_avgl,
+            "rows(built)": s.n_rows,
+            "nnz(built)": s.nnz,
+            "AvgL(built)": round(s.avg_l, 2),
+            "type": s.matrix_type,
+        })
+    if not quiet:
+        print(format_table(rows, "Table 2 — datasets (paper vs built)"))
+    return rows
+
+
+def table3(quiet: bool = False) -> list[dict]:
+    """Table 3: the GPU architectures used for the experiments."""
+    rows = [spec.table3_row() for spec in DEVICES.values()]
+    if not quiet:
+        print(format_table(rows, "Table 3 — GPU architectures"))
+    return rows
+
+
+# ----------------------------------------------------------------------
+def _fig_overall(device_key: str, quiet: bool = False,
+                 feature_dims=(128, 256, 512)) -> list[dict]:
+    mats = table2_matrices()
+    rows = run_kernel_suite(
+        mats, device_key, feature_dims=feature_dims,
+        reorder_cache_prefix="t2",
+    )
+    display = []
+    for r in rows:
+        display.append({
+            "dataset": r["dataset"],
+            **{
+                k.replace("_speedup", ""): round(v, 3)
+                for k, v in r.items()
+                if k.endswith("_speedup")
+            },
+            "acc_gflops": round(r["acc_gflops"], 1),
+        })
+    if not quiet:
+        dev = get_device(device_key)
+        print(format_table(
+            display,
+            f"Overall speedup vs cuSPARSE on {dev.name} "
+            f"(mean over B columns {feature_dims})",
+        ))
+        print(suite_summary(rows, "acc"))
+    return rows
+
+
+def fig7(quiet: bool = False) -> list[dict]:
+    """Figure 7: overall speedup + GFLOPS on RTX 4090."""
+    return _fig_overall("rtx4090", quiet)
+
+
+def fig8(quiet: bool = False) -> list[dict]:
+    """Figure 8: overall speedup + GFLOPS on A800."""
+    return _fig_overall("a800", quiet)
+
+
+def fig9(quiet: bool = False) -> list[dict]:
+    """Figure 9: overall speedup + GFLOPS on H100."""
+    return _fig_overall("h100", quiet)
+
+
+# ----------------------------------------------------------------------
+def fig10(quiet: bool = False) -> list[dict]:
+    """Figure 10: MeanNNZTC across reordering algorithms."""
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        row = {"dataset": abbr,
+               "original": round(mean_nnz_per_tc_block(csr), 3)}
+        for method in FIG10_METHODS:
+            res = cached_reorder(csr, method, f"t2-{abbr}")
+            row[method] = round(mean_nnz_per_tc_block(csr, res), 3)
+        rows.append(row)
+    if not quiet:
+        print(format_table(rows, "Figure 10 — MeanNNZTC by reordering"))
+        for ref in ("dtc-lsh", "rabbit"):
+            ratios = [r["affinity"] / r[ref] for r in rows if r[ref] > 0]
+            print(f"affinity vs {ref}: geomean {geomean(ratios):.3f}x")
+    return rows
+
+
+def fig11(quiet: bool = False, device_key: str = "a800",
+          feature_dim: int = 128) -> list[dict]:
+    """Figure 11: L1/L2 hit-rate change from affinity reordering (A800)."""
+    spec = get_device(device_key)
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        res = cached_reorder(csr, "affinity", f"t2-{abbr}")
+        profs = {}
+        for label, reorder in (("orig", False), ("reord", res)):
+            kernel = AccSpMMKernel(reorder=reorder)
+            plan = kernel.plan(csr, feature_dim, spec)
+            profs[label] = kernel.simulate(plan, feature_dim, spec)
+        rows.append({
+            "dataset": abbr,
+            "L1_orig": round(profs["orig"].l1_hit_rate, 4),
+            "L1_reord": round(profs["reord"].l1_hit_rate, 4),
+            "L1_delta_pp": round(
+                100 * (profs["reord"].l1_hit_rate - profs["orig"].l1_hit_rate), 2
+            ),
+            "L2_orig": round(profs["orig"].l2_hit_rate, 4),
+            "L2_reord": round(profs["reord"].l2_hit_rate, 4),
+            "L2_delta_pp": round(
+                100 * (profs["reord"].l2_hit_rate - profs["orig"].l2_hit_rate), 2
+            ),
+        })
+    if not quiet:
+        print(format_table(
+            rows, f"Figure 11 — cache hit rates on {spec.name} (B={feature_dim})"
+        ))
+    return rows
+
+
+def fig12(quiet: bool = False) -> list[dict]:
+    """Figure 12: compression ratio vs TCF, plus conversion-cost ratio."""
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        res = cached_reorder(csr, "affinity", f"t2-{abbr}")
+        reordered = res.apply(csr)
+        tiling = build_tiling(reordered)
+        tcf_fp = format_footprint(TCF.from_csr(reordered, tiling), "tcf")
+        bit_fp = format_footprint(BitTCF.from_csr(reordered, tiling), "bittcf")
+        me_fp = format_footprint(MeTCF.from_csr(reordered, tiling), "metcf")
+        csr_meta = reordered.metadata_bytes()
+        # Conversion cost.  The tiling pass is shared by both formats, so
+        # the defining difference is the occupancy encode: BitTCF's single
+        # scatter-OR vs ME-TCF's per-nnz rank sort.  We report the encode
+        # step (the paper's "15% decrease" driver) and the full pipeline.
+        t_bit, t_me, t_bit_full, t_me_full = Timer(), Timer(), Timer(), Timer()
+        for _ in range(5):
+            with t_bit:
+                BitTCF.from_csr(reordered, tiling)
+            with t_me:
+                MeTCF.from_csr(reordered, tiling)
+        for _ in range(2):
+            with t_bit_full:
+                BitTCF.from_csr(reordered)
+            with t_me_full:
+                MeTCF.from_csr(reordered)
+        rows.append({
+            "dataset": abbr,
+            "ratio_csr": round(tcf_fp.metadata_bytes / csr_meta, 3),
+            "ratio_metcf": round(me_fp.ratio_vs(tcf_fp), 3),
+            "ratio_bittcf": round(bit_fp.ratio_vs(tcf_fp), 3),
+            "encode_bittcf_ms": round(t_bit.mean * 1e3, 2),
+            "encode_metcf_ms": round(t_me.mean * 1e3, 2),
+            "conv_saving": round(1.0 - t_bit.mean / t_me.mean, 3),
+            "full_conv_saving": round(
+                1.0 - t_bit_full.mean / t_me_full.mean, 3
+            ),
+        })
+    if not quiet:
+        print(format_table(
+            rows, "Figure 12 — compression ratio vs TCF (higher = smaller)"
+        ))
+        print("BitTCF vs CSR ratio gain: %.2f%%" % (
+            100 * (geomean([r["ratio_bittcf"] / r["ratio_csr"] for r in rows]) - 1)
+        ))
+        print("BitTCF vs ME-TCF ratio gain: %.2f%%" % (
+            100 * (geomean([r["ratio_bittcf"] / r["ratio_metcf"] for r in rows]) - 1)
+        ))
+        print("conversion saving vs ME-TCF: %.1f%%" % (
+            100 * float(np.mean([r["conv_saving"] for r in rows]))
+        ))
+    return rows
+
+
+def fig13(quiet: bool = False, device_key: str = "a800",
+          feature_dim: int = 128) -> list[dict]:
+    """Figure 13: Acc pipeline vs DTC pipeline (identical everything else)."""
+    spec = get_device(device_key)
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        res = cached_reorder(csr, "affinity", f"t2-{abbr}")
+        out = {}
+        for label, mode in (("dtc", PipelineMode.DTC), ("acc", PipelineMode.ACC)):
+            kernel = AccSpMMKernel(reorder=res, pipeline=mode)
+            plan = kernel.plan(csr, feature_dim, spec)
+            prof = kernel.simulate(plan, feature_dim, spec)
+            out[label] = prof
+        rows.append({
+            "dataset": abbr,
+            "type": matrix_stats(csr).matrix_type,
+            "dtc_pipe_gflops": round(out["dtc"].gflops, 1),
+            "acc_pipe_gflops": round(out["acc"].gflops, 1),
+            "speedup": round(out["acc"].gflops / out["dtc"].gflops, 4),
+            "bubble_dtc": round(out["dtc"].bubble_fraction, 4),
+            "bubble_acc": round(out["acc"].bubble_fraction, 4),
+        })
+    if not quiet:
+        print(format_table(
+            rows, f"Figure 13 — pipeline comparison on {spec.name}"
+        ))
+        for ty in (1, 2):
+            sp = [r["speedup"] for r in rows if r["type"] == ty]
+            if sp:
+                print(f"type-{ty} mean pipeline speedup: {np.mean(sp):.3f}x")
+    return rows
+
+
+def fig14(quiet: bool = False, feature_dim: int = 128) -> list[dict]:
+    """Figure 14: load-balancing throughput on imbalanced (type-2) data."""
+    rows = []
+    for device_key in ("a800", "h100"):
+        spec = get_device(device_key)
+        for abbr, csr in table2_matrices().items():
+            if matrix_stats(csr).matrix_type != 2:
+                continue
+            res = cached_reorder(csr, "affinity", f"t2-{abbr}")
+            out = {}
+            for label, lb in (("off", "off"), ("on", "always")):
+                kernel = AccSpMMKernel(reorder=res, load_balance=lb)
+                plan = kernel.plan(csr, feature_dim, spec)
+                out[label] = kernel.simulate(plan, feature_dim, spec)
+            ibd = imbalance_degree(
+                AccSpMMKernel(reorder=res).plan(csr, feature_dim, spec).tiling
+            )
+            rows.append({
+                "device": spec.name,
+                "dataset": abbr,
+                "IBD": round(ibd, 2),
+                "compute_TFLOPs_off": round(
+                    out["off"].compute_throughput / 1e12, 3),
+                "compute_TFLOPs_on": round(
+                    out["on"].compute_throughput / 1e12, 3),
+                "mem_GBs_off": round(out["off"].memory_throughput / 1e9, 1),
+                "mem_GBs_on": round(out["on"].memory_throughput / 1e9, 1),
+                "time_speedup": round(out["off"].time_s / out["on"].time_s, 3),
+            })
+    if not quiet:
+        print(format_table(rows, "Figure 14 — adaptive load balancing"))
+    return rows
+
+
+def fig15(quiet: bool = False, device_key: str = "h100",
+          feature_dim: int = 128) -> list[dict]:
+    """Figure 15: cumulative ablation on H100 with B columns = 128."""
+    spec = get_device(device_key)
+    rows = []
+    for abbr, csr in table2_matrices().items():
+        aff = cached_reorder(csr, "affinity", f"t2-{abbr}")
+        row = {"dataset": abbr}
+        base_gflops = None
+        for cfg in AccConfig.ablation_ladder():
+            kernel = AccSpMMKernel(
+                reorder=aff if cfg.reorder else False,
+                use_bittcf=cfg.use_bittcf,
+                cache_policy=cfg.cache_policy,
+                pipeline=cfg.pipeline_mode,
+                load_balance="adaptive" if cfg.load_balance else "off",
+            )
+            plan = kernel.plan(csr, feature_dim, spec)
+            prof = kernel.simulate(plan, feature_dim, spec)
+            if base_gflops is None:
+                base_gflops = prof.gflops
+            row[cfg.label] = round(prof.gflops / base_gflops, 3)
+        rows.append(row)
+    if not quiet:
+        print(format_table(
+            rows,
+            f"Figure 15 — ablation on {spec.name} (B={feature_dim}), "
+            "normalised to Base",
+        ))
+    return rows
+
+
+def geomean_suite(quiet: bool = False) -> list[dict]:
+    """§4.2 geomean over the SuiteSparse-like collection, all devices."""
+    mats = suitesparse_like_collection()
+    rows = []
+    for device_key in DEVICES:
+        suite = run_kernel_suite(mats, device_key, feature_dims=(128,))
+        summary = suite_summary(suite, "acc")
+        rows.append({"device": get_device(device_key).name, **{
+            k: round(v, 3) if isinstance(v, float) else v
+            for k, v in summary.items()
+        }})
+    if not quiet:
+        print(format_table(
+            rows, "SuiteSparse-like collection — Acc-SpMM vs cuSPARSE"
+        ))
+    return rows
+
+
+# ----------------------------------------------------------------------
+EXPERIMENTS = {
+    "table2": table2,
+    "table3": table3,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "geomean": geomean_suite,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if not args or args[0] in ("-h", "--help"):
+        print(__doc__)
+        print("experiments:", ", ".join(EXPERIMENTS), "| all")
+        return 0
+    targets = list(EXPERIMENTS) if args[0] == "all" else args
+    for t in targets:
+        if t not in EXPERIMENTS:
+            print(f"unknown experiment {t!r}; have: {', '.join(EXPERIMENTS)}")
+            return 2
+        EXPERIMENTS[t]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""ASCII table/CSV reporting for the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive entries (paper's aggregator)."""
+    vals = [v for v in values if v and v > 0 and not math.isnan(v)]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(rows: list[dict], title: str | None = None) -> str:
+    """Render dict rows as a fixed-width ASCII table (paper-style)."""
+    if not rows:
+        return "(no data)\n"
+    cols = list(rows[0].keys())
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows))
+        for c in cols
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for r in rows:
+        lines.append(
+            " | ".join(_fmt(r.get(c, "")).ljust(widths[c]) for c in cols)
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:.0f}"
+        if abs(v) >= 10:
+            return f"{v:.2f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def to_csv(rows: list[dict]) -> str:
+    """Serialise dict rows to CSV text (stable column order)."""
+    if not rows:
+        return ""
+    cols = list(rows[0].keys())
+    lines = [",".join(str(c) for c in cols)]
+    for r in rows:
+        lines.append(",".join(_fmt(r.get(c, "")) for c in cols))
+    return "\n".join(lines) + "\n"

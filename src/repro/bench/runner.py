@@ -1,0 +1,70 @@
+"""Kernel-suite runner shared by the overall-performance figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.reporting import geomean
+from repro.bench.workloads import cached_reorder
+from repro.gpusim.specs import DeviceSpec, get_device
+from repro.kernels import KERNELS
+from repro.sparse.csr import CSRMatrix
+
+
+def run_kernel_suite(
+    matrices: dict[str, CSRMatrix],
+    device: DeviceSpec | str,
+    feature_dims: tuple[int, ...] = (128, 256, 512),
+    kernels: tuple[str, ...] = tuple(KERNELS),
+    reorder_cache_prefix: str | None = None,
+) -> list[dict]:
+    """Simulate every (matrix, kernel) pair; GFLOPS averaged over N sweep.
+
+    Returns one row per matrix with per-kernel GFLOPS and speedups over
+    cuSPARSE — the data behind Figures 7, 8 and 9.  When
+    ``reorder_cache_prefix`` is given, the expensive orderings (affinity
+    for Acc-SpMM, DTC-LSH for DTC-SpMM) are loaded through the on-disk
+    permutation cache.
+    """
+    spec = get_device(device)
+    rows: list[dict] = []
+    for mat_name, csr in matrices.items():
+        row: dict = {"dataset": mat_name}
+        gflops: dict[str, list[float]] = {k: [] for k in kernels}
+        plans: dict[str, object] = {}
+        for kname in kernels:
+            kcls = KERNELS[kname]
+            opts = {}
+            if reorder_cache_prefix is not None:
+                key = f"{reorder_cache_prefix}-{mat_name}"
+                if kname == "acc":
+                    opts["reorder"] = cached_reorder(csr, "affinity", key)
+                elif kname == "dtc":
+                    opts["reorder"] = cached_reorder(csr, "dtc-lsh", key)
+            kernel = kcls(**opts)
+            # plan once per kernel; feature_dim only affects scheduling
+            for n in feature_dims:
+                plan = kernel.plan(csr, n, spec)
+                prof = kernel.simulate(plan, n, spec)
+                gflops[kname].append(prof.gflops)
+                plans[kname] = plan
+        for kname in kernels:
+            row[f"{kname}_gflops"] = float(np.mean(gflops[kname]))
+        base = row.get("cusparse_gflops", 0.0)
+        for kname in kernels:
+            row[f"{kname}_speedup"] = (
+                row[f"{kname}_gflops"] / base if base else float("nan")
+            )
+        rows.append(row)
+    return rows
+
+
+def suite_summary(rows: list[dict], kernel: str = "acc") -> dict:
+    """Mean/geomean/max speedup of one kernel over cuSPARSE."""
+    sp = [r[f"{kernel}_speedup"] for r in rows if f"{kernel}_speedup" in r]
+    return {
+        "kernel": kernel,
+        "mean_speedup": float(np.mean(sp)) if sp else 0.0,
+        "geomean_speedup": geomean(sp),
+        "max_speedup": max(sp) if sp else 0.0,
+    }

@@ -1,0 +1,22 @@
+"""Public high-level API of the Acc-SpMM reproduction.
+
+Typical use::
+
+    import numpy as np
+    from repro.core import spmm, plan
+    from repro.sparse import coo_to_csr, load_matrix_market
+
+    A = coo_to_csr(load_matrix_market("matrix.mtx"))
+    B = np.random.rand(A.n_cols, 128).astype(np.float32)
+
+    C = spmm(A, B, device="a800")            # one-shot
+    p = plan(A, feature_dim=128)              # reuse across many B's
+    C1 = p.multiply(B)
+    print(p.profile(128).summary())
+"""
+
+from repro.core.config import AccConfig
+from repro.core.planner import AccPlan, plan
+from repro.core.api import spmm
+
+__all__ = ["AccConfig", "AccPlan", "plan", "spmm"]

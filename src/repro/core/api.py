@@ -1,0 +1,31 @@
+"""One-shot convenience entry points."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import AccConfig
+from repro.core.planner import plan
+from repro.gpusim.specs import DeviceSpec
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def spmm(
+    A: CSRMatrix | COOMatrix,
+    B: np.ndarray,
+    device: DeviceSpec | str = "a800",
+    config: AccConfig | None = None,
+) -> np.ndarray:
+    """Compute ``C = A @ B`` with the full Acc-SpMM pipeline.
+
+    Accepts CSR or COO sparse input and a ``(n_cols, N)`` dense ``B``.
+    For repeated multiplications against the same ``A``, build a plan
+    once with :func:`repro.core.plan` instead — this helper replans on
+    every call.
+    """
+    csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+    B = np.ascontiguousarray(B, dtype=np.float32)
+    p = plan(csr, feature_dim=B.shape[1], device=device, config=config)
+    return p.multiply(B)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the Acc-SpMM reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing validation problems from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, or structure)."""
+
+
+class FormatError(ReproError):
+    """A compressed sparse format is internally inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator reached an impossible state (scheduling bug)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""

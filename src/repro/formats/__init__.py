@@ -1,0 +1,27 @@
+"""Tensor-core tiled sparse formats: TCF, ME-TCF, and BitTCF.
+
+All three formats share the same partitioning (``formats.tiling``): the
+matrix is cut into *RowWindows* of 8 consecutive rows; the distinct columns
+inside a window are condensed and packed, 8 at a time, into 8x8 *TC blocks*
+(§3.3, Figure 3).  They differ only in how each block's occupancy is stored:
+
+* **TCF** (TC-GNN) — dense: every position of every block is materialised;
+* **ME-TCF** (DTC-SpMM) — one ``int8`` local position per non-zero;
+* **BitTCF** (this paper) — one ``uint64`` occupancy bitmask per block.
+"""
+
+from repro.formats.base import TiledFormat, format_footprint
+from repro.formats.tiling import RowWindowTiling, build_tiling
+from repro.formats.bittcf import BitTCF
+from repro.formats.metcf import MeTCF
+from repro.formats.tcf import TCF
+
+__all__ = [
+    "TiledFormat",
+    "format_footprint",
+    "RowWindowTiling",
+    "build_tiling",
+    "BitTCF",
+    "MeTCF",
+    "TCF",
+]

@@ -1,0 +1,67 @@
+"""Common interface and footprint accounting for tiled formats.
+
+Figure 12 compares "compression ratio ... based on the memory usage of
+TCF": the metric is ``bytes(TCF) / bytes(format)`` for the *index
+structure* (all formats carry the identical fp32 value payload, so only
+metadata differentiates them).  Each format therefore reports its
+``metadata_bytes`` explicitly, 4-byte words unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.formats.tiling import RowWindowTiling
+
+
+@runtime_checkable
+class TiledFormat(Protocol):
+    """Anything the tensor-core kernels can consume.
+
+    Implementations expose the shared tiling plus packed values, and report
+    their metadata footprint for the Figure-12 comparison.
+    """
+
+    tiling: RowWindowTiling
+    vals: np.ndarray  # float32, block-packed nnz order
+
+    def metadata_bytes(self) -> int:
+        """Bytes of index structure (excludes the value payload)."""
+        ...
+
+    def block_dense(self, block: int) -> np.ndarray:
+        """Decompress one 8x8 block to a dense float32 tile."""
+        ...
+
+
+@dataclass(frozen=True)
+class FormatFootprint:
+    """Byte accounting of one format instance."""
+
+    name: str
+    metadata_bytes: int
+    value_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.metadata_bytes + self.value_bytes
+
+    def ratio_vs(self, baseline: "FormatFootprint") -> float:
+        """Compression ratio relative to ``baseline`` (higher = smaller)."""
+        if self.metadata_bytes == 0:
+            return float("inf")
+        return baseline.metadata_bytes / self.metadata_bytes
+
+
+def format_footprint(fmt, name: str | None = None) -> FormatFootprint:
+    """Build a :class:`FormatFootprint` for any tiled or CSR-like format."""
+    label = name or type(fmt).__name__
+    nnz = int(fmt.vals.size) if hasattr(fmt, "vals") else fmt.nnz
+    return FormatFootprint(
+        name=label,
+        metadata_bytes=int(fmt.metadata_bytes()),
+        value_bytes=4 * nnz,
+    )

@@ -1,0 +1,92 @@
+"""ME-TCF — DTC-SpMM's memory-efficient TC format (baseline for BitTCF).
+
+Identical tiling to BitTCF, but block occupancy is stored as one ``int8``
+*local position id* per non-zero (``TCLocalId``), so the occupancy metadata
+grows with nnz: a block with 8 nnz costs 8 bytes (same as a bitmask) while
+a block with 64 nnz costs 64 bytes (8x the bitmask).  This is exactly the
+trade-off Figure 12 quantifies: "BitTCF can effectively save memory as the
+number of nnzs increases."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.tiling import RowWindowTiling, build_tiling
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class MeTCF:
+    """ME-TCF instance: shared tiling + per-nnz ``int8`` local ids."""
+
+    tiling: RowWindowTiling
+    tc_local_id: np.ndarray  # int8[nnz], row-major position r*8+c per nnz
+    vals: np.ndarray  # float32[nnz], block-packed order
+
+    @staticmethod
+    def from_csr(csr: CSRMatrix, tiling: RowWindowTiling | None = None) -> "MeTCF":
+        """Convert CSR to ME-TCF.
+
+        ME-TCF stores each block's values ordered by their row-major local
+        position (so ``TCLocalId`` is monotone within a block).  That
+        layout needs an extra per-nnz rank sort on top of the shared
+        tiling — the step that makes ME-TCF conversion measurably slower
+        than BitTCF's single scatter-OR (§4.3.2 reports ~15%).
+        """
+        t = tiling if tiling is not None else build_tiling(csr)
+        local_id16 = (
+            t.local_rows.astype(np.int16) * t.block_cols
+            + t.local_cols.astype(np.int16)
+        )
+        block_of_nnz = np.repeat(
+            np.arange(t.n_blocks, dtype=np.int64), t.nnz_per_block()
+        )
+        rank = np.argsort(
+            block_of_nnz * np.int64(t.window_rows * t.block_cols)
+            + local_id16.astype(np.int64),
+            kind="stable",
+        )
+        return MeTCF(
+            t,
+            local_id16[rank].astype(np.int8),
+            csr.vals[t.perm_nnz][rank],
+        )
+
+    def __post_init__(self) -> None:
+        if self.tc_local_id.shape != (self.tiling.nnz,):
+            raise FormatError("one local id required per nnz")
+        if self.vals.shape != (self.tiling.nnz,):
+            raise FormatError("vals must hold exactly nnz entries")
+
+    def metadata_bytes(self) -> int:
+        """RowWindowOffset + TCOffset + SparseAToB words, plus nnz int8s."""
+        t = self.tiling
+        m_windows = -(-t.n_rows // t.window_rows)
+        words = (m_windows + 1) + (t.n_blocks + 1) + t.n_blocks * t.block_cols
+        return 4 * words + t.nnz  # TCLocalId is 1 byte per nnz
+
+    def block_dense(self, block: int) -> np.ndarray:
+        """Decompress one block into a dense ``8x8`` float32 tile."""
+        t = self.tiling
+        lo, hi = t.tc_offset[block], t.tc_offset[block + 1]
+        tile = np.zeros(t.window_rows * t.block_cols, dtype=np.float32)
+        tile[self.tc_local_id[lo:hi].astype(np.int64)] = self.vals[lo:hi]
+        return tile.reshape(t.window_rows, t.block_cols)
+
+    def to_bitmask(self) -> np.ndarray:
+        """Derive the equivalent BitTCF masks (format-equivalence tests)."""
+        from repro.util.bitops import masks_from_block_positions
+
+        t = self.tiling
+        block_of_nnz = np.repeat(
+            np.arange(t.n_blocks, dtype=np.int64), t.nnz_per_block()
+        )
+        ids = self.tc_local_id.astype(np.int64)
+        return masks_from_block_positions(
+            block_of_nnz, ids // t.block_cols, ids % t.block_cols,
+            t.n_blocks, t.block_cols,
+        )

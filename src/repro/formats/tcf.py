@@ -1,0 +1,73 @@
+"""TCF — TC-GNN's tiled format (the Figure-12 baseline denominator).
+
+TC-GNN materialises each TC block densely: "The TCF stores information
+about both zero elements and nnzs" (§4.3.2).  Concretely the block payload
+is a dense 8x8 value tile (64 words whether the block holds 8 nnz or 64),
+plus the same RowWindowOffset / SparseAToB index arrays the other formats
+carry.  Because blocks average far fewer than 64 nnz on real graphs, TCF's
+footprint dwarfs the compressed formats' — which is exactly why the paper
+normalises Figure 12 against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.tiling import RowWindowTiling, build_tiling
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass(frozen=True)
+class TCF:
+    """TCF instance: shared tiling + dense per-block value tiles."""
+
+    tiling: RowWindowTiling
+    dense_tiles: np.ndarray  # float32[n_blocks, 8, 8]
+    vals: np.ndarray  # float32[nnz] packed view kept for kernel parity
+
+    @staticmethod
+    def from_csr(csr: CSRMatrix, tiling: RowWindowTiling | None = None) -> "TCF":
+        t = tiling if tiling is not None else build_tiling(csr)
+        block_of_nnz = np.repeat(
+            np.arange(t.n_blocks, dtype=np.int64), t.nnz_per_block()
+        )
+        tiles = np.zeros(
+            (t.n_blocks, t.window_rows, t.block_cols), dtype=np.float32
+        )
+        packed_vals = csr.vals[t.perm_nnz]
+        tiles[
+            block_of_nnz,
+            t.local_rows.astype(np.int64),
+            t.local_cols.astype(np.int64),
+        ] = packed_vals
+        return TCF(t, tiles, packed_vals)
+
+    def __post_init__(self) -> None:
+        t = self.tiling
+        if self.dense_tiles.shape != (t.n_blocks, t.window_rows, t.block_cols):
+            raise FormatError("dense_tiles shape must be (n_blocks, 8, 8)")
+
+    def metadata_bytes(self) -> int:
+        """Index arrays plus the *zero-element overhead* of dense tiles.
+
+        The dense tile stores 64 words/block where the nnz payload only
+        needs ``nnz`` words; the difference is metadata (pure redundancy),
+        so TCF metadata = offsets + SparseAToB + (64*blocks - nnz) words.
+        """
+        t = self.tiling
+        m_windows = -(-t.n_rows // t.window_rows)
+        tile_cells = t.n_blocks * t.window_rows * t.block_cols
+        words = (
+            (m_windows + 1)
+            + (t.n_blocks + 1)
+            + t.n_blocks * t.block_cols
+            + (tile_cells - t.nnz)
+        )
+        return 4 * words
+
+    def block_dense(self, block: int) -> np.ndarray:
+        """TCF blocks are already dense — return a copy of the tile."""
+        return self.dense_tiles[block].copy()

@@ -1,0 +1,195 @@
+"""RowWindow / TC-block partitioning shared by all tiled formats.
+
+Terminology (paper §3.3, Figure 3):
+
+* **RowWindow** — 8 consecutive rows of the (possibly reordered) matrix.
+* **TC block** — an 8x8 tile; within one RowWindow, the *distinct* column
+  indices that appear in any of its rows are condensed (sorted ascending,
+  duplicates removed) and packed 8 per block.  Block ``j`` of a window
+  covers condensed columns ``8j .. 8j+7``; ``SparseAToB`` remembers each
+  packed column's *original* index so the kernel can gather rows of the
+  dense B matrix.
+
+The tiling is pure structure: it depends only on the sparsity pattern, not
+the values, and is reused by the MeanNNZTC reordering metric, all three
+formats, and the load-balancing scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+
+#: The paper fixes 8x8 tiles ("we choose the shape of 8x8 tile in reality")
+#: to pair with the swapped m16n8k8 MMA and the uint64 bitmask.
+TILE_ROWS = 8
+TILE_COLS = 8
+
+
+@dataclass(frozen=True)
+class RowWindowTiling:
+    """Structural decomposition of a sparse matrix into TC blocks.
+
+    Attributes
+    ----------
+    n_rows, n_cols:
+        Original matrix shape.
+    window_rows, block_cols:
+        Tile geometry (8 and 8 in the paper).
+    row_window_offset:
+        ``int64[n_windows + 1]`` — block-id range of each RowWindow
+        (the paper's ``RowWindowOffset``).
+    tc_offset:
+        ``int64[n_blocks + 1]`` — nnz range of each TC block in
+        block-packed order (the paper's ``TCOffset``).
+    sparse_a_to_b:
+        ``int64[n_blocks * block_cols]`` — original column index of each
+        packed column slot; padding slots hold ``-1`` (the kernel treats
+        them as zero columns).  The paper's ``SparseAToB``.
+    local_rows, local_cols:
+        ``int8[nnz]`` — position of each nnz inside its block, in
+        block-packed nnz order.
+    block_window:
+        ``int64[n_blocks]`` — owning RowWindow of each block.
+    perm_nnz:
+        ``int64[nnz]`` — maps block-packed nnz order back to CSR order
+        (``vals_packed = csr.vals[perm_nnz]``).
+    """
+
+    n_rows: int
+    n_cols: int
+    window_rows: int
+    block_cols: int
+    row_window_offset: np.ndarray
+    tc_offset: np.ndarray
+    sparse_a_to_b: np.ndarray
+    local_rows: np.ndarray
+    local_cols: np.ndarray
+    block_window: np.ndarray
+    perm_nnz: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        return int(self.row_window_offset.size - 1)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.tc_offset.size - 1)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.perm_nnz.size)
+
+    def blocks_per_window(self) -> np.ndarray:
+        """TC-block count of each RowWindow (Equation 3's inputs)."""
+        return np.diff(self.row_window_offset)
+
+    def nnz_per_block(self) -> np.ndarray:
+        """Non-zero count of each TC block."""
+        return np.diff(self.tc_offset)
+
+    def mean_nnz_per_block(self) -> float:
+        """The paper's ``MeanNNZTC`` density metric (Figure 10)."""
+        return self.nnz / self.n_blocks if self.n_blocks else 0.0
+
+    def block_columns(self, block: int) -> np.ndarray:
+        """Original column ids of one block's slots (padding = -1)."""
+        lo = block * self.block_cols
+        return self.sparse_a_to_b[lo : lo + self.block_cols]
+
+
+def build_tiling(
+    csr: CSRMatrix,
+    window_rows: int = TILE_ROWS,
+    block_cols: int = TILE_COLS,
+) -> RowWindowTiling:
+    """Partition a CSR matrix into RowWindows and condensed TC blocks.
+
+    Fully vectorised: one sort over the nnz dominates, giving the
+    ``O(nnz log nnz)`` conversion cost the paper amortises over iterative
+    applications.
+    """
+    if window_rows <= 0 or block_cols <= 0:
+        raise ValidationError("tile dimensions must be positive")
+    if window_rows * block_cols > 64:
+        raise ValidationError("tiles larger than 64 cells break uint64 masks")
+    n_windows = -(-csr.n_rows // window_rows)
+    nnz = csr.nnz
+
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    wins = rows // window_rows
+    cols = csr.indices
+
+    # Sort nnz by (window, column, row): groups each window's nnz by
+    # condensed column, the packed order every tiled format stores.
+    key = (wins * np.int64(csr.n_cols) + cols) * np.int64(window_rows) + (
+        rows % window_rows
+    )
+    perm = np.argsort(key, kind="stable")
+    s_win = wins[perm]
+    s_col = cols[perm]
+    s_row_local = (rows % window_rows)[perm]
+
+    # Distinct (window, column) pairs in packed order = condensed columns.
+    wc = s_win * np.int64(csr.n_cols) + s_col
+    new_wc = np.empty(nnz, dtype=bool)
+    if nnz:
+        new_wc[0] = True
+        np.not_equal(wc[1:], wc[:-1], out=new_wc[1:])
+    distinct_idx = np.flatnonzero(new_wc)  # first nnz of each condensed col
+    distinct_win = s_win[distinct_idx]
+    distinct_col = s_col[distinct_idx]
+
+    # Condensed-column rank within its window -> block id and local col.
+    cols_per_window = np.bincount(distinct_win, minlength=n_windows)
+    win_col_start = np.zeros(n_windows + 1, dtype=np.int64)
+    np.cumsum(cols_per_window, out=win_col_start[1:])
+    rank_in_window = np.arange(distinct_win.size) - win_col_start[distinct_win]
+    local_block_of_col = rank_in_window // block_cols
+    local_col_of_col = (rank_in_window % block_cols).astype(np.int8)
+
+    blocks_per_window = -(-cols_per_window // block_cols)
+    row_window_offset = np.zeros(n_windows + 1, dtype=np.int64)
+    np.cumsum(blocks_per_window, out=row_window_offset[1:])
+    n_blocks = int(row_window_offset[-1])
+    block_of_col = row_window_offset[distinct_win] + local_block_of_col
+
+    # Propagate per-condensed-column ids to every nnz of that column.
+    col_group = np.cumsum(new_wc) - 1  # condensed-column id per nnz
+    block_of_nnz = block_of_col[col_group]
+    local_cols = local_col_of_col[col_group]
+
+    tc_counts = np.bincount(block_of_nnz, minlength=n_blocks) if nnz else (
+        np.zeros(n_blocks, dtype=np.int64)
+    )
+    tc_offset = np.zeros(n_blocks + 1, dtype=np.int64)
+    np.cumsum(tc_counts, out=tc_offset[1:])
+
+    sparse_a_to_b = np.full(n_blocks * block_cols, -1, dtype=np.int64)
+    sparse_a_to_b[block_of_col * block_cols + local_col_of_col] = distinct_col
+
+    block_window = np.repeat(
+        np.arange(n_windows, dtype=np.int64), blocks_per_window
+    )
+
+    # nnz within a block are already ordered by (column, row) thanks to the
+    # sort key; blocks are contiguous because block id is monotone in the
+    # sorted stream (window-major, column-major).
+    return RowWindowTiling(
+        n_rows=csr.n_rows,
+        n_cols=csr.n_cols,
+        window_rows=window_rows,
+        block_cols=block_cols,
+        row_window_offset=row_window_offset,
+        tc_offset=tc_offset,
+        sparse_a_to_b=sparse_a_to_b,
+        local_rows=s_row_local.astype(np.int8),
+        local_cols=local_cols,
+        block_window=block_window,
+        perm_nnz=perm,
+    )

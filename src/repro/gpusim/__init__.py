@@ -1,0 +1,53 @@
+"""Discrete GPU timing/cache simulator — the hardware substrate.
+
+The paper's experiments run on RTX 4090, A800 and H100 silicon; none is
+available here, so this package models the pieces of those machines that
+SpMM performance actually depends on (see DESIGN.md substitution table):
+
+* :mod:`specs` — per-architecture parameters (Table 3) plus calibrated
+  kernel-efficiency constants;
+* :mod:`cache` — L1/L2 reuse-distance cache models with the PTX cache
+  policy operators of Table 1 (``.ca/.cg/.cs/.lu/.cv/.wb/.wt``);
+* :mod:`tensorcore` — TF32 numerics and ``m16n8k8`` MMA semantics/cycles;
+* :mod:`pipeline` — the DTC pipeline vs the least-bubble double-buffer
+  pipeline of Figure 5, with explicit bubble accounting;
+* :mod:`engine` — thread-block scheduling over SMs and makespan;
+* :mod:`counters` — the profiler counters the figures report (hit rates,
+  compute/memory throughput, GFLOPS).
+"""
+
+from repro.gpusim.specs import (
+    A800,
+    DEVICES,
+    H100,
+    RTX4090,
+    DeviceSpec,
+    get_device,
+)
+from repro.gpusim.cache import CachePolicy, ReuseDistanceCache, SetAssocCache
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.engine import Machine, ThreadBlockWork
+from repro.gpusim.pipeline import PipelineMode, simulate_pipeline
+from repro.gpusim.tensorcore import mma_m16n8k8, tf32_round
+from repro.gpusim.trace import render_trace, trace_pipeline
+
+__all__ = [
+    "DeviceSpec",
+    "RTX4090",
+    "A800",
+    "H100",
+    "DEVICES",
+    "get_device",
+    "CachePolicy",
+    "SetAssocCache",
+    "ReuseDistanceCache",
+    "KernelProfile",
+    "Machine",
+    "ThreadBlockWork",
+    "PipelineMode",
+    "simulate_pipeline",
+    "mma_m16n8k8",
+    "tf32_round",
+    "render_trace",
+    "trace_pipeline",
+]

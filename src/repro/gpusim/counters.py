@@ -1,0 +1,104 @@
+"""Profiler counters mirroring what the paper's figures report.
+
+Figure 11 reads L1/L2 hit rates; Figure 14 reads compute and memory
+throughput; Figures 7-9 read GFLOPS.  One :class:`KernelProfile` instance
+aggregates everything a single simulated kernel launch produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelProfile:
+    """Aggregated counters of one simulated kernel launch."""
+
+    kernel: str = ""
+    device: str = ""
+    #: wall time of the launch in seconds (simulated)
+    time_s: float = 0.0
+    #: useful floating-point work: 2 * nnz * N for SpMM
+    useful_flops: float = 0.0
+    #: floating-point operations actually issued (incl. padded-zero MMA work)
+    issued_flops: float = 0.0
+    #: bytes requested by the kernel, per level
+    bytes_requested: float = 0.0
+    bytes_from_l1: float = 0.0
+    bytes_from_l2: float = 0.0
+    bytes_from_dram: float = 0.0
+    #: access counts for hit rates
+    l1_accesses: int = 0
+    l1_hits: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    #: pipeline accounting
+    mma_count: int = 0
+    pipeline_cycles: float = 0.0
+    bubble_cycles: float = 0.0
+    #: scheduling
+    n_thread_blocks: int = 0
+    makespan_s: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    # -- derived metrics -------------------------------------------------
+    @property
+    def gflops(self) -> float:
+        """Useful GFLOPS (2*nnz*N / time), the Figures 7-9 y-axis."""
+        return self.useful_flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        return self.l1_hits / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def l2_hit_rate(self) -> float:
+        return self.l2_hits / self.l2_accesses if self.l2_accesses else 0.0
+
+    @property
+    def compute_throughput(self) -> float:
+        """Issued FLOP/s — Figure 14's compute throughput."""
+        return self.issued_flops / self.time_s if self.time_s > 0 else 0.0
+
+    @property
+    def memory_throughput(self) -> float:
+        """DRAM bytes/s — Figure 14's memory throughput."""
+        return self.bytes_from_dram / self.time_s if self.time_s > 0 else 0.0
+
+    @property
+    def bubble_fraction(self) -> float:
+        if self.pipeline_cycles <= 0:
+            return 0.0
+        return self.bubble_cycles / self.pipeline_cycles
+
+    def merge(self, other: "KernelProfile") -> "KernelProfile":
+        """Accumulate another launch's counters (multi-launch pipelines)."""
+        self.time_s += other.time_s
+        self.useful_flops += other.useful_flops
+        self.issued_flops += other.issued_flops
+        self.bytes_requested += other.bytes_requested
+        self.bytes_from_l1 += other.bytes_from_l1
+        self.bytes_from_l2 += other.bytes_from_l2
+        self.bytes_from_dram += other.bytes_from_dram
+        self.l1_accesses += other.l1_accesses
+        self.l1_hits += other.l1_hits
+        self.l2_accesses += other.l2_accesses
+        self.l2_hits += other.l2_hits
+        self.mma_count += other.mma_count
+        self.pipeline_cycles += other.pipeline_cycles
+        self.bubble_cycles += other.bubble_cycles
+        self.n_thread_blocks += other.n_thread_blocks
+        self.makespan_s = max(self.makespan_s, other.makespan_s)
+        return self
+
+    def summary(self) -> dict:
+        """Compact dict for reporting tables."""
+        return {
+            "kernel": self.kernel,
+            "device": self.device,
+            "time_ms": round(self.time_s * 1e3, 4),
+            "GFLOPS": round(self.gflops, 2),
+            "L1_hit": round(self.l1_hit_rate, 4),
+            "L2_hit": round(self.l2_hit_rate, 4),
+            "bubbles": round(self.bubble_fraction, 4),
+        }

@@ -1,0 +1,144 @@
+"""Pipeline timing models: DTC pipeline vs the least-bubble pipeline.
+
+Figure 5 contrasts the two schedules for a RowWindow of ``k`` TC blocks:
+
+* **DTC pipeline (a)** — sparse-A/AToB copies overlap with compute, but
+  each iteration's dense-B register load is *synchronous*: the TCUs idle
+  while B tiles stream in, so every iteration costs
+  ``t_loadB + t_mma (+ sync)`` and the B-load time is pure bubble.
+
+* **Acc pipeline (b)** — double buffers in shared memory for the A tiles
+  and AToB arrays plus a two-deep B fragment prefetch; ``cp.async`` makes
+  all three loads concurrent with the MMA, so a steady-state iteration
+  costs ``max(t_loadA, t_loadB, t_mma) + sync`` and the only bubbles left
+  are the warm-up fills and the per-iteration synchronisation.
+
+``simulate_pipeline`` walks the schedule iteration by iteration and
+returns total and bubble cycles — the quantities behind Figure 13 and the
+PP step of the Figure-15 ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class PipelineMode(enum.Enum):
+    """Which schedule a kernel runs."""
+
+    SYNCHRONOUS = "sync"  # no overlap at all (TC-GNN style)
+    DTC = "dtc"  # Figure 5(a)
+    ACC = "acc"  # Figure 5(b), least-bubble double buffers
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-iteration stage durations (seconds) for one thread block.
+
+    Arrays may be scalars broadcast over iterations or per-iteration
+    vectors (block nnz varies, so A-tile loads vary too).
+    """
+
+    load_a: np.ndarray  # GToSHM: sparse A tile + AToB slice
+    load_b: np.ndarray  # GToReg: dense B tile
+    mma: np.ndarray  # TCMMA
+    sync: float = 0.0  # per-iteration synchronisation cost
+    writeback: float = 0.0  # end-of-window C store
+    #: memory latency exposed by a *synchronous* (non-prefetched) load:
+    #: the warp stalls this long before the dependent MMA can issue.
+    #: Prefetching (the Acc pipeline) hides it entirely.
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        la, lb, mm = (
+            np.atleast_1d(np.asarray(self.load_a, dtype=np.float64)),
+            np.atleast_1d(np.asarray(self.load_b, dtype=np.float64)),
+            np.atleast_1d(np.asarray(self.mma, dtype=np.float64)),
+        )
+        k = max(la.size, lb.size, mm.size)
+        la, lb, mm = (
+            np.broadcast_to(la, (k,)).copy(),
+            np.broadcast_to(lb, (k,)).copy(),
+            np.broadcast_to(mm, (k,)).copy(),
+        )
+        if (la < 0).any() or (lb < 0).any() or (mm < 0).any():
+            raise ValidationError("stage times must be non-negative")
+        object.__setattr__(self, "load_a", la)
+        object.__setattr__(self, "load_b", lb)
+        object.__setattr__(self, "mma", mm)
+
+    @property
+    def n_iterations(self) -> int:
+        return int(self.load_a.size)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Timing of one thread block's pass over its TC blocks."""
+
+    total_s: float
+    busy_s: float  # time the TC units spent computing
+    bubble_s: float  # time the TC units idled
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.total_s if self.total_s > 0 else 0.0
+
+
+def simulate_pipeline(stages: StageTimes, mode: PipelineMode) -> PipelineResult:
+    """Simulate one TB's pipeline; see module docstring for the models."""
+    k = stages.n_iterations
+    if k == 0:
+        return PipelineResult(stages.writeback, 0.0, stages.writeback)
+    la, lb, mm = stages.load_a, stages.load_b, stages.mma
+    sync = stages.sync
+    busy = float(mm.sum())
+
+    if mode is PipelineMode.SYNCHRONOUS:
+        # everything serial: load A, load B, compute, per iteration; both
+        # loads expose their full memory latency to the dependent MMA
+        total = float((la + lb + mm).sum()) + (sync + 2 * stages.latency) * k
+    elif mode is PipelineMode.DTC:
+        # A copies hide behind the previous iteration's MMA (single
+        # buffer): effective A cost is what the MMA cannot cover.  B loads
+        # are synchronous ("implicit synchronization after GToReg of dense
+        # matrix B", §3.4): bandwidth time AND latency fully exposed.
+        warmup = float(la[0])
+        a_exposed = np.maximum(la[1:] - mm[:-1], 0.0) if k > 1 else 0.0
+        total = (
+            warmup
+            + float(lb.sum())
+            + busy
+            + float(np.sum(a_exposed))
+            + (sync + stages.latency) * k
+        )
+    elif mode is PipelineMode.ACC:
+        # Double buffers: steady-state iteration costs the max of the three
+        # concurrent streams; warm-up fills the first A tile + AToB and the
+        # first B fragment (Algorithm 2 lines 9-14).
+        warmup = float(la[0] + lb[0])
+        if k > 1:
+            steady = np.maximum(np.maximum(la[1:], lb[1:]), mm[:-1])
+            total = warmup + float(steady.sum()) + float(mm[-1]) + sync * k
+        else:
+            total = warmup + float(mm[0]) + sync
+    else:  # pragma: no cover - exhaustive enum
+        raise ValidationError(f"unknown pipeline mode {mode!r}")
+
+    total += stages.writeback
+    return PipelineResult(
+        total_s=total, busy_s=busy, bubble_s=max(total - busy, 0.0)
+    )
+
+
+def pipeline_gap(stages: StageTimes) -> float:
+    """Figure-5 'GAP': DTC total minus Acc total for identical stages."""
+    return (
+        simulate_pipeline(stages, PipelineMode.DTC).total_s
+        - simulate_pipeline(stages, PipelineMode.ACC).total_s
+    )

@@ -1,0 +1,108 @@
+"""Merge dendrogram recording community-construction history.
+
+Step I of the paper's Algorithm 1 merges vertices pairwise and "records the
+merge in dendrogram"; Step II walks the dendrogram depth-first to enumerate
+leaves community-by-community.  The structure here is a binary merge forest:
+each merge creates an internal node whose children are the two merged
+clusters; roots are the final communities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+class Dendrogram:
+    """Binary merge forest over ``n`` leaves.
+
+    Leaves are ids ``0..n-1``; internal nodes are allocated from ``n``
+    upward by :meth:`merge`.  A dendrogram with ``k`` merges has ``n + k``
+    nodes and ``n - k`` roots (communities).
+    """
+
+    def __init__(self, n_leaves: int) -> None:
+        if n_leaves <= 0:
+            raise ValidationError("dendrogram needs at least one leaf")
+        self.n_leaves = n_leaves
+        self._left: list[int] = []
+        self._right: list[int] = []
+        # current root node of each cluster representative
+        self._cluster_node = np.arange(n_leaves, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return self.n_leaves + len(self._left)
+
+    def merge(self, rep_a: int, rep_b: int) -> int:
+        """Record the merge of clusters currently rooted at reps ``a, b``.
+
+        ``rep_a``/``rep_b`` are *leaf* representatives (any leaf of each
+        cluster); returns the new internal node id.  The merge order (a
+        first) is preserved so DFS visits cluster ``a``'s leaves first —
+        the property Step II relies on.
+        """
+        node_a = int(self._cluster_node[rep_a])
+        node_b = int(self._cluster_node[rep_b])
+        if node_a == node_b:
+            raise ValidationError("cannot merge a cluster with itself")
+        new_node = self.n_nodes
+        self._left.append(node_a)
+        self._right.append(node_b)
+        # Both representatives now map to the new root.  Callers keep a
+        # union-find alongside; we only need the two reps updated because
+        # lookups always go through cluster representatives.
+        self._cluster_node[rep_a] = new_node
+        self._cluster_node[rep_b] = new_node
+        return new_node
+
+    def set_representative(self, rep: int, node: int) -> None:
+        """Point a (union-find) representative at its current root node."""
+        self._cluster_node[rep] = node
+
+    # ------------------------------------------------------------------
+    def roots(self) -> np.ndarray:
+        """Node ids that are not a child of any internal node."""
+        n = self.n_nodes
+        is_child = np.zeros(n, dtype=bool)
+        if self._left:
+            is_child[np.asarray(self._left)] = True
+            is_child[np.asarray(self._right)] = True
+        return np.flatnonzero(~is_child)
+
+    def leaves_dfs(self, root: int | None = None) -> np.ndarray:
+        """Leaf ids in depth-first order under ``root`` (or all roots).
+
+        This is the paper's "DFS on dendrogram" leaf enumeration: leaves of
+        the same subtree (community) appear contiguously, nested subtrees
+        first.  Iterative (explicit stack) so deep dendrograms from chain
+        merges cannot overflow Python's recursion limit.
+        """
+        n_leaves = self.n_leaves
+        left = self._left
+        right = self._right
+        out = np.empty(n_leaves, dtype=np.int64)
+        k = 0
+        roots = [int(root)] if root is not None else list(self.roots())
+        for r in roots:
+            stack = [r]
+            while stack:
+                node = stack.pop()
+                if node < n_leaves:
+                    out[k] = node
+                    k += 1
+                else:
+                    i = node - n_leaves
+                    # push right first so left is visited first
+                    stack.append(right[i])
+                    stack.append(left[i])
+        return out[:k]
+
+    def community_of_leaves(self) -> np.ndarray:
+        """Map each leaf to the root id of its community."""
+        labels = np.empty(self.n_leaves, dtype=np.int64)
+        for r in self.roots():
+            labels[self.leaves_dfs(int(r))] = r
+        return labels

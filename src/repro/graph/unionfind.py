@@ -1,0 +1,49 @@
+"""Array-backed union-find with path compression and union by size."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint-set forest over ``0..n-1``.
+
+    Used by the dendrogram construction to track which community each
+    vertex currently belongs to while merges stream in.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.size = np.ones(n, dtype=np.int64)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path compression)."""
+        parent = self.parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        # Compress the walked path.
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, a: int, b: int) -> int:
+        """Merge the sets of ``a`` and ``b``; returns the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_components -= 1
+        return ra
+
+    def components(self) -> np.ndarray:
+        """Label array mapping each element to its component root."""
+        return np.fromiter(
+            (self.find(i) for i in range(self.parent.size)),
+            dtype=np.int64,
+            count=self.parent.size,
+        )

@@ -1,0 +1,44 @@
+"""SpMM kernels: Acc-SpMM plus the five baselines of Figures 7-9.
+
+Every kernel implements :class:`~repro.kernels.base.SpMMKernel`: it plans
+(format conversion, reordering, TB scheduling), executes numerically
+(validated against the float64 reference) and simulates its timing on a
+:class:`~repro.gpusim.specs.DeviceSpec`.
+
+Baselines bundle their paper-default preprocessing: TC-GNN uses SGT
+condensation only, DTC-SpMM uses DTC-LSH reordering and its own pipeline
+and balancer, the CUDA-core kernels take the matrix as-is.
+"""
+
+from repro.kernels.base import KernelResult, SpMMKernel
+from repro.kernels.reference import ReferenceKernel, reference_spmm
+from repro.kernels.cusparse_like import CuSparseKernel
+from repro.kernels.sputnik_like import SputnikKernel
+from repro.kernels.sparsetir_like import SparseTIRKernel
+from repro.kernels.tcgnn import TCGNNKernel
+from repro.kernels.dtc import DTCKernel
+from repro.kernels.accspmm import AccSpMMKernel
+
+#: Figure 7-9 kernel lineup, in the figures' legend order.
+KERNELS = {
+    "cusparse": CuSparseKernel,
+    "sputnik": SputnikKernel,
+    "sparsetir": SparseTIRKernel,
+    "tcgnn": TCGNNKernel,
+    "dtc": DTCKernel,
+    "acc": AccSpMMKernel,
+}
+
+__all__ = [
+    "SpMMKernel",
+    "KernelResult",
+    "ReferenceKernel",
+    "reference_spmm",
+    "CuSparseKernel",
+    "SputnikKernel",
+    "SparseTIRKernel",
+    "TCGNNKernel",
+    "DTCKernel",
+    "AccSpMMKernel",
+    "KERNELS",
+]

@@ -1,0 +1,120 @@
+"""Acc-SpMM — the paper's kernel: all four optimisations together.
+
+Plan stage: data-affinity reordering (§3.2) → BitTCF conversion (§3.3) →
+adaptive sparsity-aware TB schedule (§3.5).  Simulation runs the
+least-bubble double-buffer pipeline (§3.4) with cache-policy control
+(Table 1: ``.ca`` for A and B, ``.wt`` for C).
+
+Every optimisation has an independent toggle so the Figure-15 ablation can
+switch them one by one; the defaults are the paper's shipped configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balance.scheduler import (
+    adaptive_schedule,
+    row_window_schedule,
+)
+from repro.formats.bittcf import BitTCF
+from repro.formats.tiling import build_tiling
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import DeviceSpec
+from repro.kernels.base import SpMMKernel
+from repro.kernels.tc_common import (
+    TCPlan,
+    bittcf_bytes_per_block,
+    execute_tiled,
+    metcf_bytes_per_block,
+    simulate_tc,
+)
+from repro.reorder.affinity import data_affinity_reorder
+from repro.reorder.base import ReorderResult
+from repro.reorder.degree import identity_reorder
+from repro.sparse.csr import CSRMatrix
+
+
+class AccSpMMKernel(SpMMKernel):
+    """The full Acc-SpMM kernel.
+
+    Options (all keyword arguments to the constructor):
+
+    ``reorder`` (default True)
+        Run data-affinity reordering; pass a :class:`ReorderResult` to
+        supply a precomputed ordering (the planner caches them).
+    ``use_bittcf`` (default True)
+        BitTCF A-tile traffic; False falls back to ME-TCF byte costs
+        (ablation step BTCF).
+    ``cache_policy`` (default True)
+        Table-1 policy control (.wt for C).
+    ``pipeline`` (default ``PipelineMode.ACC``)
+        The Figure-5(b) double-buffer schedule; ``PipelineMode.DTC``
+        reproduces the baseline pipeline for Figure 13.
+    ``load_balance`` (default "adaptive")
+        "adaptive" (Equation 3 gate + Equation 4 chunking), "always",
+        or "off".
+    """
+
+    name = "acc-spmm"
+
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec) -> TCPlan:
+        opts = self.options
+        reorder_opt = opts.get("reorder", True)
+        if isinstance(reorder_opt, ReorderResult):
+            reorder = reorder_opt
+        elif reorder_opt:
+            reorder = data_affinity_reorder(csr)
+        else:
+            reorder = identity_reorder(csr)
+        csr_r = reorder.apply(csr) if not reorder.row_perm.is_identity() else csr
+
+        tiling = build_tiling(csr_r)
+        bit = BitTCF.from_csr(csr_r, tiling)
+
+        lb = opts.get("load_balance", "adaptive")
+        if lb == "adaptive":
+            schedule = adaptive_schedule(tiling, device, feature_dim)
+        elif lb == "always":
+            from repro.balance.scheduler import balanced_schedule
+
+            schedule = balanced_schedule(tiling, device, feature_dim)
+        elif lb == "off":
+            schedule = row_window_schedule(tiling)
+        else:
+            raise ValueError(f"unknown load_balance mode {lb!r}")
+        schedule.validate_against(tiling)
+
+        use_bittcf = opts.get("use_bittcf", True)
+        bytes_a = (
+            bittcf_bytes_per_block(tiling)
+            if use_bittcf
+            else metcf_bytes_per_block(tiling)
+        )
+        return TCPlan(
+            name=self.name,
+            csr_reordered=csr_r,
+            tiling=tiling,
+            vals_packed=bit.vals,
+            schedule=schedule,
+            reorder=reorder,
+            bytes_a_per_block=bytes_a,
+            pipeline_mode=opts.get("pipeline", PipelineMode.ACC),
+            cache_policy_control=opts.get("cache_policy", True),
+            n_rows_original=csr.n_rows,
+            meta={
+                "reorder": reorder.name,
+                "format": "bittcf" if use_bittcf else "metcf",
+                "schedule": schedule.strategy,
+                "mean_nnz_tc": tiling.mean_nnz_per_block(),
+            },
+        )
+
+    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        return execute_tiled(plan, B)
+
+    def simulate(
+        self, plan: TCPlan, feature_dim: int, device: DeviceSpec
+    ) -> KernelProfile:
+        return simulate_tc(plan, feature_dim, device)

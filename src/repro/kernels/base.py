@@ -1,0 +1,85 @@
+"""Kernel interface and result bundle."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.specs import DeviceSpec, get_device
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class KernelResult:
+    """Everything one SpMM invocation produced."""
+
+    C: np.ndarray | None  # None when execute=False (timing-only runs)
+    profile: KernelProfile
+    plan_meta: dict
+
+    @property
+    def gflops(self) -> float:
+        return self.profile.gflops
+
+
+class SpMMKernel(abc.ABC):
+    """Base class: plan -> (execute numeric) + (simulate timing).
+
+    Subclasses define :meth:`plan` (one-time preprocessing: reorder,
+    format conversion, TB schedule), :meth:`execute` (numeric C = A @ B on
+    the planned representation) and :meth:`simulate` (a
+    :class:`KernelProfile` on the given device).  :meth:`multiply` strings
+    them together.
+    """
+
+    name: str = "spmm"
+
+    def __init__(self, **options) -> None:
+        self.options = options
+
+    # -- stages ----------------------------------------------------------
+    @abc.abstractmethod
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec):
+        """Preprocess the sparse matrix; returns an opaque plan object."""
+
+    @abc.abstractmethod
+    def execute(self, plan, B: np.ndarray) -> np.ndarray:
+        """Numeric SpMM on the planned representation."""
+
+    @abc.abstractmethod
+    def simulate(self, plan, feature_dim: int, device: DeviceSpec) -> KernelProfile:
+        """Simulated timing/counters for one launch on ``device``."""
+
+    # -- one-call convenience ---------------------------------------------
+    def multiply(
+        self,
+        csr: CSRMatrix,
+        B: np.ndarray,
+        device: DeviceSpec | str = "a800",
+        execute: bool = True,
+    ) -> KernelResult:
+        """Plan, optionally execute, and simulate one SpMM."""
+        spec = get_device(device)
+        B = np.ascontiguousarray(B, dtype=np.float32)
+        if B.ndim != 2 or B.shape[0] != csr.n_cols:
+            raise ValidationError(
+                f"B must be ({csr.n_cols}, N); got {B.shape}"
+            )
+        plan = self.plan(csr, B.shape[1], spec)
+        C = self.execute(plan, B) if execute else None
+        profile = self.simulate(plan, B.shape[1], spec)
+        profile.kernel = self.name
+        profile.device = spec.name
+        return KernelResult(C=C, profile=profile, plan_meta=getattr(plan, "meta", {}))
+
+    # -- shared resource model ---------------------------------------------
+    @staticmethod
+    def concurrency(spec: DeviceSpec, n_tbs: int) -> tuple[int, int]:
+        """(concurrent TBs, resident TBs per SM) for a launch of n_tbs."""
+        conc = max(1, min(n_tbs, spec.n_sms * spec.max_tb_per_sm))
+        resident = max(1, -(-conc // spec.n_sms))
+        return conc, resident

@@ -1,0 +1,232 @@
+"""Shared machinery for the CUDA-core kernels (cuSPARSE, Sputnik, SparseTIR).
+
+CUDA-core SpMM is row-parallel: thread blocks own row ranges (possibly
+split rows for load balance), gather B rows per non-zero, FMA on the
+regular FP32 pipelines, and write C once per row.  The numeric path is a
+chunked fp32 CSR matmat; the timing path prices per-TB memory traffic
+through the same cache hierarchy the TC kernels use and takes
+``max(memory, compute)`` per TB (warp parallelism overlaps the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.cache import CachePolicy, simulate_hierarchy
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.engine import Machine
+from repro.gpusim.specs import DeviceSpec
+from repro.sparse.csr import CSRMatrix
+
+
+@dataclass
+class CudaPlan:
+    """Planned representation for a CUDA-core kernel."""
+
+    name: str
+    csr: CSRMatrix
+    #: per-TB nnz ranges over the CSR nnz stream
+    tb_nnz_start: np.ndarray
+    tb_nnz_end: np.ndarray
+    #: rows each TB writes (for C traffic and per-row overhead)
+    tb_rows: np.ndarray
+    #: model knobs
+    mem_efficiency: float
+    flop_efficiency: float
+    row_overhead_ns: float
+    #: flops actually issued per nnz-equivalent (padding factor, >= 1)
+    padding_factor: float = 1.0
+    #: extra kernel launches (format-composable kernels launch per bucket)
+    n_launches: int = 1
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_tbs(self) -> int:
+        return int(self.tb_nnz_start.size)
+
+
+def row_chunk_plan(
+    name: str,
+    csr: CSRMatrix,
+    rows_per_tb: int,
+    *,
+    mem_efficiency: float,
+    flop_efficiency: float,
+    row_overhead_ns: float,
+    split_rows_at: int | None = None,
+    padding_factor: float = 1.0,
+    n_launches: int = 1,
+    meta: dict | None = None,
+) -> CudaPlan:
+    """Build a row-chunked TB layout, optionally splitting very long rows.
+
+    ``split_rows_at`` caps the nnz one TB takes from a single row
+    (Sputnik-style 1-D tiling); rows longer than the cap contribute
+    multiple TBs.
+    """
+    starts: list[int] = []
+    ends: list[int] = []
+    rows_of: list[int] = []
+    indptr = csr.indptr
+    n_rows = csr.n_rows
+    r = 0
+    while r < n_rows:
+        r_hi = min(r + rows_per_tb, n_rows)
+        lo, hi = int(indptr[r]), int(indptr[r_hi])
+        span = hi - lo
+        if split_rows_at is not None and span > split_rows_at and r_hi == r + 1:
+            # one long row split into nnz tiles
+            for s in range(lo, hi, split_rows_at):
+                starts.append(s)
+                ends.append(min(s + split_rows_at, hi))
+                rows_of.append(1)
+        elif (
+            split_rows_at is not None
+            and span > split_rows_at
+            and rows_per_tb > 1
+        ):
+            # re-walk this chunk row by row so long rows split cleanly
+            for rr in range(r, r_hi):
+                l2, h2 = int(indptr[rr]), int(indptr[rr + 1])
+                if h2 - l2 <= split_rows_at:
+                    starts.append(l2)
+                    ends.append(h2)
+                    rows_of.append(1)
+                else:
+                    for s in range(l2, h2, split_rows_at):
+                        starts.append(s)
+                        ends.append(min(s + split_rows_at, h2))
+                        rows_of.append(1)
+        else:
+            starts.append(lo)
+            ends.append(hi)
+            rows_of.append(r_hi - r)
+        r = r_hi
+    return CudaPlan(
+        name=name,
+        csr=csr,
+        tb_nnz_start=np.asarray(starts, dtype=np.int64),
+        tb_nnz_end=np.asarray(ends, dtype=np.int64),
+        tb_rows=np.asarray(rows_of, dtype=np.int64),
+        mem_efficiency=mem_efficiency,
+        flop_efficiency=flop_efficiency,
+        row_overhead_ns=row_overhead_ns,
+        padding_factor=padding_factor,
+        n_launches=n_launches,
+        meta=meta or {},
+    )
+
+
+def execute_cuda(plan: CudaPlan, B: np.ndarray) -> np.ndarray:
+    """Numeric row-parallel SpMM in fp32 (fp32 gather-multiply-accumulate)."""
+    csr = plan.csr
+    B32 = np.asarray(B, dtype=np.float32)
+    N = B32.shape[1]
+    out = np.zeros((csr.n_rows, N), dtype=np.float32)
+    chunk_rows = max(1, (32 << 20) // max(1, N * 8))
+    for r0 in range(0, csr.n_rows, chunk_rows):
+        r1 = min(r0 + chunk_rows, csr.n_rows)
+        lo, hi = csr.indptr[r0], csr.indptr[r1]
+        if lo == hi:
+            continue
+        gathered = csr.vals[lo:hi, None] * B32[csr.indices[lo:hi]]
+        lengths = np.diff(csr.indptr[r0 : r1 + 1])
+        nonempty = np.flatnonzero(lengths > 0)
+        starts = (csr.indptr[r0:r1][nonempty] - lo).astype(np.int64)
+        out[r0 + nonempty] = np.add.reduceat(
+            gathered.astype(np.float32), starts, axis=0
+        )
+    return out
+
+
+def simulate_cuda(
+    plan: CudaPlan, feature_dim: int, spec: DeviceSpec
+) -> KernelProfile:
+    """Simulate one CUDA-core SpMM launch."""
+    csr = plan.csr
+    N = feature_dim
+    prof = KernelProfile(kernel=plan.name, device=spec.name)
+    prof.useful_flops = 2.0 * csr.nnz * N
+    prof.issued_flops = prof.useful_flops * plan.padding_factor
+    prof.n_thread_blocks = plan.n_tbs
+    if csr.nnz == 0 or plan.n_tbs == 0:
+        prof.time_s = spec.launch_overhead_us * 1e-6
+        return prof
+
+    from repro.kernels.base import SpMMKernel
+
+    conc, resident = SpMMKernel.concurrency(spec, plan.n_tbs)
+    per_tb_bw = spec.mem_bw * plan.mem_efficiency / conc
+    per_tb_fp32 = (
+        spec.fp32_flops * plan.flop_efficiency / (spec.n_sms * resident)
+    )
+
+    # ---- B gathers through the cache hierarchy (one access per nnz) ----
+    stream = csr.indices  # CSR order == TB launch order
+    nnz_per_tb = plan.tb_nnz_end - plan.tb_nnz_start
+    tb_of_access = np.repeat(
+        np.arange(plan.n_tbs, dtype=np.int64), nnz_per_tb
+    )
+    sm_of_access = tb_of_access % spec.n_sms
+    row_bytes = N * 4
+    l1_rows = max(1, spec.l1_bytes_per_sm // (row_bytes * resident))
+    l2_rows = max(1, spec.l2_bytes // row_bytes)
+    hier = simulate_hierarchy(
+        stream, sm_of_access, l1_rows, l2_rows, CachePolicy.CA
+    )
+    l1_hit = hier.l1.hit_flags
+    l2_hit_full = np.zeros(stream.size, dtype=bool)
+    l2_hit_full[~l1_hit] = hier.l2.hit_flags
+    t_access = np.where(
+        l1_hit,
+        row_bytes / (per_tb_bw * spec.l1_bw_scale),
+        np.where(
+            l2_hit_full,
+            row_bytes / (per_tb_bw * spec.l2_bw_scale),
+            row_bytes / per_tb_bw,
+        ),
+    )
+
+    # ---- per-TB times ----------------------------------------------------
+    t_b = np.zeros(plan.n_tbs, dtype=np.float64)
+    nz = nnz_per_tb > 0
+    if nz.any():
+        t_b[nz] = np.add.reduceat(t_access, plan.tb_nnz_start[nz])
+    bytes_a_tb = 8.0 * nnz_per_tb * plan.padding_factor + 4.0 * plan.tb_rows
+    bytes_c_tb = plan.tb_rows.astype(np.float64) * row_bytes
+    t_mem = t_b + (bytes_a_tb + bytes_c_tb) / per_tb_bw
+    t_compute = (
+        2.0 * nnz_per_tb * plan.padding_factor * N
+    ) / per_tb_fp32
+    overhead = (
+        plan.tb_rows * plan.row_overhead_ns * 1e-9 + spec.tb_overhead_ns * 1e-9
+    )
+    durations = np.maximum(t_mem, t_compute) + overhead
+    # slot-occupancy bound + rate-capped drain (see tc_common/engine):
+    # memory work scales with freed bandwidth, compute/overhead does not.
+    machine = Machine(spec)
+    mem_work_full = t_mem / conc
+    fixed = np.maximum(t_compute, 0.0) + overhead
+    slot_bound = float(durations.sum()) / conc
+    makespan = max(slot_bound, machine.drain_makespan(mem_work_full, fixed))
+    prof.time_s = makespan + plan.n_launches * spec.launch_overhead_us * 1e-6
+    prof.makespan_s = makespan
+    sres = machine.schedule(durations)
+
+    bytes_b = float(stream.size) * row_bytes
+    bytes_b_l1 = float(hier.l1.hits) * row_bytes
+    bytes_b_l2 = float(hier.l2.hits) * row_bytes
+    bytes_a = float(bytes_a_tb.sum())
+    bytes_c = float(bytes_c_tb.sum())
+    prof.bytes_requested = bytes_b + bytes_a + bytes_c
+    prof.bytes_from_l1 = bytes_b_l1
+    prof.bytes_from_l2 = bytes_b_l2
+    prof.bytes_from_dram = (bytes_b - bytes_b_l1 - bytes_b_l2) + bytes_a + bytes_c
+    prof.l1_accesses = hier.l1.accesses
+    prof.l1_hits = hier.l1.hits
+    prof.l2_accesses = hier.l2.accesses
+    prof.l2_hits = hier.l2.hits
+    prof.extra = {"sm_imbalance": sres.imbalance, **plan.meta}
+    return prof

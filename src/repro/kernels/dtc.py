@@ -1,0 +1,88 @@
+"""DTC-SpMM baseline (Fan et al., ASPLOS'24) — the paper's closest rival.
+
+ME-TCF format, DTC-LSH reordering, the Figure-5(a) pipeline (synchronous
+dense-B register loads) and DTC's load balancing: long RowWindows split
+into fixed chunks, no write-back term in the decision model, short windows
+never concatenated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balance.ibd import needs_balancing
+from repro.balance.scheduler import dtc_schedule, row_window_schedule
+from repro.formats.tiling import build_tiling
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import DeviceSpec
+from repro.kernels.base import SpMMKernel
+from repro.kernels.tc_common import (
+    TCPlan,
+    execute_tiled,
+    metcf_bytes_per_block,
+    simulate_tc,
+)
+from repro.reorder.base import ReorderResult
+from repro.reorder.degree import identity_reorder
+from repro.reorder.lsh import dtc_lsh_reorder
+from repro.sparse.csr import CSRMatrix
+
+
+class DTCKernel(SpMMKernel):
+    """DTC-SpMM: ME-TCF + DTC-LSH + DTC pipeline + chunk balancing.
+
+    Options: ``reorder`` (True | False | ReorderResult), ``load_balance``
+    (default True; DTC also gates on imbalance).
+    """
+
+    name = "dtc-spmm"
+
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec) -> TCPlan:
+        opts = self.options
+        reorder_opt = opts.get("reorder", True)
+        if isinstance(reorder_opt, ReorderResult):
+            reorder = reorder_opt
+        elif reorder_opt:
+            reorder = dtc_lsh_reorder(csr, seed=opts.get("seed", 0))
+        else:
+            reorder = identity_reorder(csr)
+        csr_r = reorder.apply(csr) if not reorder.row_perm.is_identity() else csr
+
+        tiling = build_tiling(csr_r)
+        # metcf's row-major value layout is format detail; the numeric
+        # executor consumes the tiling-packed order shared by all kernels
+        vals_packed = csr_r.vals[tiling.perm_nnz]
+
+        if opts.get("load_balance", True) and needs_balancing(tiling):
+            schedule = dtc_schedule(tiling)
+        else:
+            schedule = row_window_schedule(tiling)
+        schedule.validate_against(tiling)
+
+        return TCPlan(
+            name=self.name,
+            csr_reordered=csr_r,
+            tiling=tiling,
+            vals_packed=vals_packed,
+            schedule=schedule,
+            reorder=reorder,
+            bytes_a_per_block=metcf_bytes_per_block(tiling),
+            pipeline_mode=PipelineMode.DTC,
+            cache_policy_control=False,  # DTC uses default caching
+            n_rows_original=csr.n_rows,
+            meta={
+                "reorder": reorder.name,
+                "format": "metcf",
+                "schedule": schedule.strategy,
+                "mean_nnz_tc": tiling.mean_nnz_per_block(),
+            },
+        )
+
+    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        return execute_tiled(plan, B)
+
+    def simulate(
+        self, plan: TCPlan, feature_dim: int, device: DeviceSpec
+    ) -> KernelProfile:
+        return simulate_tc(plan, feature_dim, device)

@@ -1,0 +1,36 @@
+"""Exact reference SpMM (float64) — the correctness oracle for every kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.specs import DeviceSpec
+from repro.kernels.base import SpMMKernel
+from repro.sparse.csr import CSRMatrix
+
+
+def reference_spmm(csr: CSRMatrix, B: np.ndarray) -> np.ndarray:
+    """C = A @ B in float64 with exact per-row accumulation."""
+    return csr.matmat(np.asarray(B, dtype=np.float64))
+
+
+class ReferenceKernel(SpMMKernel):
+    """Oracle kernel: exact numerics, no timing model."""
+
+    name = "reference"
+
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec):
+        return csr
+
+    def execute(self, plan: CSRMatrix, B: np.ndarray) -> np.ndarray:
+        return reference_spmm(plan, B)
+
+    def simulate(
+        self, plan: CSRMatrix, feature_dim: int, device: DeviceSpec
+    ) -> KernelProfile:
+        prof = KernelProfile(kernel=self.name, device=device.name)
+        prof.useful_flops = 2.0 * plan.nnz * feature_dim
+        prof.issued_flops = prof.useful_flops
+        prof.time_s = float("nan")  # the oracle has no hardware cost model
+        return prof

@@ -1,0 +1,59 @@
+"""Sputnik-like SpMM (Gale et al., SC'20).
+
+Sputnik's contributions: one-dimensional tiling (a TB owns a 1-D strip of
+non-zeros, so long rows split across TBs), reverse-offset memory alignment
+enabling wide vector loads, and subwarp row processing that kills per-row
+overhead.  Modelled as: fine row chunks with aggressive row splitting
+(excellent balance on skewed matrices), a memory-efficiency bonus over
+plain CUDA kernels from the aligned vector accesses, and a small per-row
+cost.  On dense-row graphs (reddit) this is the strongest CUDA-core
+baseline, as Figure 8 shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.specs import DeviceSpec
+from repro.kernels.base import SpMMKernel
+from repro.kernels.cuda_common import (
+    CudaPlan,
+    execute_cuda,
+    row_chunk_plan,
+    simulate_cuda,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+class SputnikKernel(SpMMKernel):
+    """Sputnik: 1-D tiling + reverse-offset alignment + subwarp rows."""
+
+    name = "sputnik"
+
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec) -> CudaPlan:
+        avg_l = csr.nnz / max(1, csr.n_rows)
+        # Vector loads and sorted-column gathers need long rows: efficiency
+        # grows with AvgL (DRAM row-buffer locality + 4-wide value loads)
+        # and saturates ~35% above the generic CUDA-kernel level — this is
+        # the "effectively managing non-contiguous memory accesses" edge
+        # the paper credits for Sputnik's reddit results (§4.2).
+        vector_bonus = 1.0 + 0.35 * min(1.0, avg_l / 96.0)
+        return row_chunk_plan(
+            self.name,
+            csr,
+            rows_per_tb=self.options.get("rows_per_tb", 8),
+            mem_efficiency=min(0.95, device.cuda_kernel_efficiency * vector_bonus),
+            flop_efficiency=0.9,
+            row_overhead_ns=self.options.get("row_overhead_ns", 4.0),
+            split_rows_at=self.options.get("split_rows_at", 128),
+            meta={"algorithm": "1d-tiling", "vector_bonus": vector_bonus},
+        )
+
+    def execute(self, plan: CudaPlan, B: np.ndarray) -> np.ndarray:
+        return execute_cuda(plan, B)
+
+    def simulate(
+        self, plan: CudaPlan, feature_dim: int, device: DeviceSpec
+    ) -> KernelProfile:
+        return simulate_cuda(plan, feature_dim, device)

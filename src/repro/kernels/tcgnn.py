@@ -1,0 +1,66 @@
+"""TC-GNN baseline (Wang et al., USENIX ATC'23).
+
+TCF format (dense tiles — "still introduces significant redundancy"),
+SGT column condensation only (no row reordering), a fully synchronous
+pipeline (no double buffering), default cache behaviour, and one TB per
+RowWindow with no load balancing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.balance.scheduler import row_window_schedule
+from repro.formats.tcf import TCF
+from repro.formats.tiling import build_tiling
+from repro.gpusim.counters import KernelProfile
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import DeviceSpec
+from repro.kernels.base import SpMMKernel
+from repro.kernels.tc_common import (
+    TCPlan,
+    execute_tiled,
+    simulate_tc,
+    tcf_bytes_per_block,
+)
+from repro.reorder.sgt import sgt_reorder
+from repro.sparse.csr import CSRMatrix
+
+
+class TCGNNKernel(SpMMKernel):
+    """TCGNN-SpMM: TCF + SGT condensation + synchronous execution."""
+
+    name = "tcgnn-spmm"
+
+    def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec) -> TCPlan:
+        reorder = sgt_reorder(csr)  # identity rows; condensation in tiling
+        tiling = build_tiling(csr)
+        tcf = TCF.from_csr(csr, tiling)
+        schedule = row_window_schedule(tiling)
+        schedule.validate_against(tiling)
+        return TCPlan(
+            name=self.name,
+            csr_reordered=csr,
+            tiling=tiling,
+            vals_packed=tcf.vals,
+            schedule=schedule,
+            reorder=reorder,
+            bytes_a_per_block=tcf_bytes_per_block(tiling),
+            pipeline_mode=PipelineMode.SYNCHRONOUS,
+            cache_policy_control=False,
+            n_rows_original=csr.n_rows,
+            meta={
+                "reorder": "sgt",
+                "format": "tcf",
+                "schedule": schedule.strategy,
+                "mean_nnz_tc": tiling.mean_nnz_per_block(),
+            },
+        )
+
+    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        return execute_tiled(plan, B)
+
+    def simulate(
+        self, plan: TCPlan, feature_dim: int, device: DeviceSpec
+    ) -> KernelProfile:
+        return simulate_tc(plan, feature_dim, device)

@@ -1,0 +1,9 @@
+"""Numerics helpers: TF32 error analysis for kernel validation."""
+
+from repro.numerics.tf32 import (
+    spmm_error_bound,
+    relative_error,
+    tf32_machine_epsilon,
+)
+
+__all__ = ["spmm_error_bound", "relative_error", "tf32_machine_epsilon"]

@@ -1,0 +1,53 @@
+"""TF32 error analysis.
+
+TF32 keeps fp32's 8-bit exponent but truncates the significand to 10
+explicit bits, so inputs carry relative error up to ``2^-11`` (half ULP)
+while accumulation stays fp32.  A dot product of length ``k`` computed
+with TF32-rounded inputs and fp32 accumulation satisfies
+
+    |fl(x . y) - x . y| <= (2 * eps_tf32 + k * eps_fp32 + O(eps^2))
+                            * sum_i |x_i| |y_i|
+
+which is what the test suite's tolerances are derived from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: half-ULP input rounding error of TF32 (10-bit mantissa)
+TF32_EPS = 2.0**-11
+#: fp32 accumulation epsilon
+FP32_EPS = 2.0**-24
+
+
+def tf32_machine_epsilon() -> float:
+    """Unit roundoff of TF32 input conversion."""
+    return TF32_EPS
+
+
+def spmm_error_bound(
+    abs_row_dot: np.ndarray | float, k: np.ndarray | int
+) -> np.ndarray | float:
+    """Forward error bound for one output of a TF32 SpMM.
+
+    Parameters
+    ----------
+    abs_row_dot:
+        ``sum_i |a_i| * |b_i|`` for the row/column pair (computable with
+        the absolute-value reference SpMM).
+    k:
+        Number of products accumulated (the row's nnz count).
+    """
+    k = np.asarray(k, dtype=np.float64)
+    return (2.0 * TF32_EPS + k * FP32_EPS) * np.asarray(abs_row_dot)
+
+
+def relative_error(
+    approx: np.ndarray, exact: np.ndarray, floor: float = 1e-30
+) -> float:
+    """Max relative error with a denominator floor (avoids 0/0)."""
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    denom = np.maximum(np.abs(exact), max(floor, float(np.abs(exact).max()) * 1e-9))
+    return float(np.max(np.abs(approx - exact) / denom))

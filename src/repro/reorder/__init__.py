@@ -1,0 +1,51 @@
+"""Reordering algorithms: the paper's data-affinity ordering + 6 baselines.
+
+Figure 10 compares MeanNNZTC across METIS, Louvain, SGT, LSH64, DTC-LSH,
+Rabbit Order, and the proposed data-affinity-based reordering.  Every
+algorithm here returns a :class:`~repro.reorder.base.Permutation` over the
+matrix rows (and symmetric column relabeling for the graph-style orderings,
+matching the paper: "we only reorder the sparse matrix and do not perform
+corresponding row reordering on the dense matrix").
+"""
+
+from repro.reorder.base import Permutation, ReorderResult, apply_symmetric
+from repro.reorder.affinity import data_affinity_reorder, reorder_bilateral
+from repro.reorder.rabbit import rabbit_reorder
+from repro.reorder.louvain import louvain_reorder
+from repro.reorder.metis import metis_reorder
+from repro.reorder.sgt import sgt_reorder
+from repro.reorder.lsh import dtc_lsh_reorder, lsh64_reorder
+from repro.reorder.degree import bfs_reorder, degree_reorder, identity_reorder
+from repro.reorder.metrics import mean_nnz_per_tc_block, reorder_quality
+
+#: Registry used by the Figure-10 bench: name -> callable(csr, seed).
+REORDERERS = {
+    "original": lambda csr, seed=0: identity_reorder(csr),
+    "metis": lambda csr, seed=0: metis_reorder(csr),
+    "louvain": lambda csr, seed=0: louvain_reorder(csr, seed=seed),
+    "sgt": lambda csr, seed=0: sgt_reorder(csr),
+    "lsh64": lambda csr, seed=0: lsh64_reorder(csr, seed=seed),
+    "dtc-lsh": lambda csr, seed=0: dtc_lsh_reorder(csr, seed=seed),
+    "rabbit": lambda csr, seed=0: rabbit_reorder(csr),
+    "affinity": lambda csr, seed=0: data_affinity_reorder(csr),
+}
+
+__all__ = [
+    "Permutation",
+    "ReorderResult",
+    "apply_symmetric",
+    "data_affinity_reorder",
+    "reorder_bilateral",
+    "rabbit_reorder",
+    "louvain_reorder",
+    "metis_reorder",
+    "sgt_reorder",
+    "lsh64_reorder",
+    "dtc_lsh_reorder",
+    "bfs_reorder",
+    "degree_reorder",
+    "identity_reorder",
+    "mean_nnz_per_tc_block",
+    "reorder_quality",
+    "REORDERERS",
+]

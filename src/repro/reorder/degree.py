@@ -1,0 +1,33 @@
+"""Trivial baseline orderings: identity, degree sort, BFS."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.traversal import bfs_order
+from repro.reorder.affinity import _graph_for
+from repro.reorder.base import Permutation, ReorderResult
+from repro.sparse.csr import CSRMatrix
+
+
+def identity_reorder(csr: CSRMatrix) -> ReorderResult:
+    """No-op ordering (the "original" row of every comparison)."""
+    return ReorderResult(
+        name="original", row_perm=Permutation.identity(csr.n_rows)
+    )
+
+
+def degree_reorder(csr: CSRMatrix, descending: bool = True) -> ReorderResult:
+    """Sort rows by nnz count; groups similar-length rows into windows."""
+    lengths = csr.row_lengths()
+    order = np.argsort(-lengths if descending else lengths, kind="stable")
+    return ReorderResult(
+        name="degree", row_perm=Permutation.from_order(order.astype(np.int64))
+    )
+
+
+def bfs_reorder(csr: CSRMatrix, start: int = 0) -> ReorderResult:
+    """Breadth-first order over the symmetrised graph (RCM-adjacent)."""
+    adj = _graph_for(csr)
+    order = bfs_order(adj, start=start)
+    return ReorderResult(name="bfs", row_perm=Permutation.from_order(order))

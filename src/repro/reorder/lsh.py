@@ -1,0 +1,87 @@
+"""LSH-based row-similarity reorderings: LSH64 and DTC-LSH.
+
+**LSH64** (after Huang et al., PPoPP'21, as cited by the paper): each row's
+column set is hashed to a 64-bit signature built from min-hashes; rows are
+sorted by signature so rows with similar column sets land nearby.
+
+**DTC-LSH** (DTC-SpMM, ASPLOS'24): a stronger multi-band variant — ``b``
+independent min-hash bands are concatenated lexicographically, grouping
+rows that agree on *any* leading band prefix and recovering more sharing
+than a single 64-bit code.  DTC-SpMM uses this as its production reorderer,
+and Figure 10 shows the affinity ordering beating it by ~1.28x on average.
+
+Both treat rows independently (no graph traversal), so they capture column
+*similarity* but not community structure — the gap the affinity ordering
+exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reorder.base import Permutation, ReorderResult
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import rng_from_seed
+
+_PRIME = np.uint64(0x9E3779B97F4A7C15)  # splitmix64 golden-ratio constant
+
+
+def _minhash_per_row(
+    csr: CSRMatrix, n_hashes: int, seed
+) -> np.ndarray:
+    """``uint64[n_rows, n_hashes]`` min-hash signatures, vectorised.
+
+    Hash ``h_k(c) = (a_k * (c+1) + b_k) mod 2^64`` (multiply-shift family);
+    the per-row minimum over its column set approximates Jaccard-similar
+    rows receiving equal signatures.
+    """
+    rng = rng_from_seed(seed)
+    a = rng.integers(1, 2**63 - 1, size=n_hashes, dtype=np.int64).astype(
+        np.uint64
+    ) | np.uint64(1)
+    b = rng.integers(0, 2**63 - 1, size=n_hashes, dtype=np.int64).astype(np.uint64)
+
+    cols = csr.indices.astype(np.uint64) + np.uint64(1)
+    sigs = np.full((csr.n_rows, n_hashes), np.iinfo(np.uint64).max, dtype=np.uint64)
+    lengths = csr.row_lengths()
+    nonempty = np.flatnonzero(lengths > 0)
+    if nonempty.size == 0:
+        return sigs
+    # hashes for every (nnz, hash) pair: chunked to bound memory
+    row_of = np.repeat(np.arange(csr.n_rows, dtype=np.int64), lengths)
+    chunk = max(1, 4_000_000 // max(1, n_hashes))
+    for lo in range(0, cols.size, chunk):
+        hi = min(lo + chunk, cols.size)
+        h = cols[lo:hi, None] * a[None, :] + b[None, :]
+        h *= _PRIME
+        np.minimum.at(sigs, row_of[lo:hi], h)
+    return sigs
+
+
+def lsh64_reorder(csr: CSRMatrix, seed=None) -> ReorderResult:
+    """Sort rows by a single 64-bit signature (8 packed 8-bit min-hashes)."""
+    sigs = _minhash_per_row(csr, n_hashes=8, seed=seed)
+    # pack the top byte of each of the 8 min-hashes into one uint64
+    bytes8 = (sigs >> np.uint64(56)).astype(np.uint64)
+    code = np.zeros(csr.n_rows, dtype=np.uint64)
+    for k in range(8):
+        code |= bytes8[:, k] << np.uint64(8 * (7 - k))
+    order = np.argsort(code, kind="stable")
+    return ReorderResult(
+        name="lsh64", row_perm=Permutation.from_order(order)
+    )
+
+
+def dtc_lsh_reorder(
+    csr: CSRMatrix, n_bands: int = 4, seed=None
+) -> ReorderResult:
+    """DTC-SpMM's multi-band min-hash: lexicographic sort over band codes."""
+    sigs = _minhash_per_row(csr, n_hashes=n_bands, seed=seed)
+    # np.lexsort sorts by the *last* key first; feed bands reversed so
+    # band 0 is most significant.
+    order = np.lexsort(tuple(sigs[:, k] for k in range(n_bands - 1, -1, -1)))
+    return ReorderResult(
+        name="dtc-lsh",
+        row_perm=Permutation.from_order(order.astype(np.int64)),
+        meta={"n_bands": n_bands},
+    )

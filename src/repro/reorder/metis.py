@@ -1,0 +1,231 @@
+"""METIS-like multilevel recursive-bisection reordering baseline.
+
+A from-scratch graph partitioner in the METIS mould (Karypis & Kumar):
+
+1. **coarsen** via heavy-edge matching until the graph is small;
+2. **bisect** the coarse graph by BFS region-growing from a pseudo-
+   peripheral vertex, balanced to half the total vertex weight;
+3. **refine** the cut with a single boundary-sweep (greedy gain moves);
+4. **uncoarsen** by projecting the bipartition back up;
+5. recurse on each side until parts drop below ``leaf_size``.
+
+The ordering concatenates the final parts (nested-dissection style layout).
+Partitioners optimise edge cut, not within-window column sharing, which is
+why METIS trails the modularity orderings on MeanNNZTC in Figure 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Adjacency
+from repro.reorder.affinity import _graph_for
+from repro.reorder.base import Permutation, ReorderResult
+from repro.sparse.csr import CSRMatrix
+
+
+def _heavy_edge_matching(adj: Adjacency) -> np.ndarray:
+    """Greedy matching preferring heavy edges; returns coarse id per vertex."""
+    n = adj.n
+    match = np.full(n, -1, dtype=np.int64)
+    # visit vertices in random-ish but deterministic order: by degree
+    for v in np.argsort(adj.degree, kind="stable"):
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        nbrs = adj.neighbors(v)
+        w = adj.neighbor_weights(v)
+        free = match[nbrs] < 0
+        free &= nbrs != v
+        if free.any():
+            u = int(nbrs[free][np.argmax(w[free])])
+            match[v] = u
+            match[u] = v
+        else:
+            match[v] = v
+    coarse = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse[v] >= 0:
+            continue
+        coarse[v] = next_id
+        u = match[v]
+        if u != v and coarse[u] < 0:
+            coarse[u] = next_id
+        next_id += 1
+    return coarse
+
+
+def _contract_weighted(
+    adj: Adjacency, coarse: np.ndarray, vwgt: np.ndarray
+) -> tuple[Adjacency, np.ndarray]:
+    k = int(coarse.max()) + 1
+    src = np.repeat(np.arange(adj.n, dtype=np.int64), np.diff(adj.indptr))
+    cu, cv = coarse[src], coarse[adj.indices]
+    keep = cu != cv  # drop internal (matched) edges
+    key = cu[keep] * np.int64(k) + cv[keep]
+    order = np.argsort(key, kind="stable")
+    key_sorted = key[order]
+    w_sorted = adj.weights[keep][order]
+    uniq_key, start = np.unique(key_sorted, return_index=True)
+    w_merged = np.add.reduceat(w_sorted, start) if uniq_key.size else w_sorted[:0]
+    uu = (uniq_key // k).astype(np.int64)
+    vv = (uniq_key % k).astype(np.int64)
+    counts = np.bincount(uu, minlength=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    degree = np.zeros(k, dtype=np.float64)
+    np.add.at(degree, uu, w_merged)
+    new_vwgt = np.zeros(k, dtype=np.int64)
+    np.add.at(new_vwgt, coarse, vwgt)
+    contracted = Adjacency(
+        n=k, indptr=indptr, indices=vv, weights=w_merged, degree=degree,
+        total_weight=float(degree.sum() / 2.0),
+    )
+    return contracted, new_vwgt
+
+
+def _grow_bisection(adj: Adjacency, vwgt: np.ndarray) -> np.ndarray:
+    """BFS region-growing bipartition balanced by vertex weight."""
+    n = adj.n
+    total = int(vwgt.sum())
+    side = np.zeros(n, dtype=np.int8)
+    if n <= 1:
+        return side
+    # pseudo-peripheral start: two BFS hops from the min-degree vertex
+    start = int(np.argmin(adj.degree))
+    from collections import deque
+
+    def bfs_far(s: int) -> int:
+        seen = np.zeros(n, dtype=bool)
+        seen[s] = True
+        q = deque([s])
+        last = s
+        while q:
+            u = q.popleft()
+            last = u
+            for w in adj.neighbors(u):
+                w = int(w)
+                if not seen[w]:
+                    seen[w] = True
+                    q.append(w)
+        return last
+
+    start = bfs_far(bfs_far(start))
+    grown = 0
+    seen = np.zeros(n, dtype=bool)
+    q = deque([start])
+    seen[start] = True
+    order_visited = []
+    while q and grown * 2 < total:
+        u = q.popleft()
+        order_visited.append(u)
+        grown += int(vwgt[u])
+        side[u] = 1
+        for w in adj.neighbors(u):
+            w = int(w)
+            if not seen[w]:
+                seen[w] = True
+                q.append(w)
+    # disconnected leftovers: assign greedily to the lighter side
+    for v in range(n):
+        if not seen[v]:
+            side[v] = 0 if grown * 2 >= total else 1
+            if side[v]:
+                grown += int(vwgt[v])
+    return side
+
+
+def _refine_cut(adj: Adjacency, side: np.ndarray, vwgt: np.ndarray,
+                sweeps: int = 2) -> None:
+    """Greedy boundary refinement: move vertices with positive gain."""
+    total = int(vwgt.sum())
+    heavy = int(vwgt[side == 1].sum())
+    for _ in range(sweeps):
+        moved = 0
+        for v in range(adj.n):
+            nbrs = adj.neighbors(v)
+            if nbrs.size == 0:
+                continue
+            w = adj.neighbor_weights(v)
+            same = side[nbrs] == side[v]
+            gain = w[~same].sum() - w[same].sum()
+            # keep balance within 60/40
+            new_heavy = heavy + (int(vwgt[v]) if side[v] == 0 else -int(vwgt[v]))
+            if gain > 0 and 0.4 * total <= new_heavy <= 0.6 * total:
+                side[v] ^= 1
+                heavy = new_heavy
+                moved += 1
+        if moved == 0:
+            break
+
+
+def _bisect_multilevel(adj: Adjacency, vwgt: np.ndarray,
+                       coarsen_to: int = 64) -> np.ndarray:
+    """Multilevel bisection: coarsen, split, project back, refine."""
+    if adj.n <= coarsen_to:
+        side = _grow_bisection(adj, vwgt)
+        _refine_cut(adj, side, vwgt)
+        return side
+    coarse = _heavy_edge_matching(adj)
+    if int(coarse.max()) + 1 >= adj.n:  # no progress; bisect directly
+        side = _grow_bisection(adj, vwgt)
+        _refine_cut(adj, side, vwgt)
+        return side
+    c_adj, c_vwgt = _contract_weighted(adj, coarse, vwgt)
+    c_side = _bisect_multilevel(c_adj, c_vwgt, coarsen_to)
+    side = c_side[coarse]
+    _refine_cut(adj, side, vwgt)
+    return side
+
+
+def metis_reorder(csr: CSRMatrix, leaf_size: int = 128) -> ReorderResult:
+    """Recursive multilevel bisection; parts concatenated in DFS order."""
+    adj = _graph_for(csr)
+    n = adj.n
+    order_out = np.empty(n, dtype=np.int64)
+    pos = 0
+
+    def recurse(vertex_ids: np.ndarray, sub: Adjacency) -> None:
+        nonlocal pos
+        if sub.n <= leaf_size:
+            order_out[pos : pos + sub.n] = vertex_ids
+            pos += sub.n
+            return
+        vwgt = np.ones(sub.n, dtype=np.int64)
+        side = _bisect_multilevel(sub, vwgt)
+        if side.all() or not side.any():  # degenerate cut: stop splitting
+            order_out[pos : pos + sub.n] = vertex_ids
+            pos += sub.n
+            return
+        for s in (0, 1):
+            keep = np.flatnonzero(side == s)
+            recurse(vertex_ids[keep], _induced(sub, keep))
+
+    recurse(np.arange(n, dtype=np.int64), adj)
+    return ReorderResult(
+        name="metis", row_perm=Permutation.from_order(order_out)
+    )
+
+
+def _induced(adj: Adjacency, keep: np.ndarray) -> Adjacency:
+    """Subgraph induced by ``keep`` (vertices renumbered 0..k-1)."""
+    k = keep.size
+    remap = np.full(adj.n, -1, dtype=np.int64)
+    remap[keep] = np.arange(k)
+    src = np.repeat(np.arange(adj.n, dtype=np.int64), np.diff(adj.indptr))
+    sel = (remap[src] >= 0) & (remap[adj.indices] >= 0)
+    uu = remap[src[sel]]
+    vv = remap[adj.indices[sel]]
+    w = adj.weights[sel]
+    order = np.argsort(uu * np.int64(k) + vv, kind="stable")
+    uu, vv, w = uu[order], vv[order], w[order]
+    counts = np.bincount(uu, minlength=k)
+    indptr = np.zeros(k + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    degree = np.zeros(k, dtype=np.float64)
+    np.add.at(degree, uu, w)
+    return Adjacency(
+        n=k, indptr=indptr, indices=vv, weights=w, degree=degree,
+        total_weight=float(degree.sum() / 2.0),
+    )

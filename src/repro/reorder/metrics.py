@@ -1,0 +1,87 @@
+"""Reordering-quality metrics, headlined by MeanNNZTC (Figure 10).
+
+``MeanNNZTC`` is "the average number of nnzs in each TC block" — total
+nnz divided by the number of 8x8 TC blocks the tiling produces after the
+candidate row ordering is applied.  Denser blocks mean fewer blocks, fewer
+MMA instructions and less B traffic, which is why the paper uses it as the
+reordering figure of merit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.tiling import TILE_COLS, TILE_ROWS
+from repro.reorder.base import ReorderResult
+from repro.sparse.csr import CSRMatrix
+
+
+def mean_nnz_per_tc_block(
+    csr: CSRMatrix,
+    result: ReorderResult | None = None,
+    window_rows: int = TILE_ROWS,
+    block_cols: int = TILE_COLS,
+) -> float:
+    """MeanNNZTC of ``csr`` under an optional reordering.
+
+    Computed directly from the (window, column) distinct counts — no need
+    to materialise the full tiling.
+    """
+    n_blocks = count_tc_blocks(csr, result, window_rows, block_cols)
+    return csr.nnz / n_blocks if n_blocks else 0.0
+
+
+def count_tc_blocks(
+    csr: CSRMatrix,
+    result: ReorderResult | None = None,
+    window_rows: int = TILE_ROWS,
+    block_cols: int = TILE_COLS,
+) -> int:
+    """Number of TC blocks after applying the candidate row ordering."""
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    if result is not None:
+        rows = result.row_perm.rank[rows]
+    wins = rows // window_rows
+    key = wins * np.int64(csr.n_cols) + csr.indices
+    uniq_wc = np.unique(key)
+    uniq_wins = (uniq_wc // csr.n_cols).astype(np.int64)
+    n_windows = -(-csr.n_rows // window_rows)
+    cols_per_window = np.bincount(uniq_wins, minlength=n_windows)
+    return int((-(-cols_per_window // block_cols)).sum())
+
+
+@dataclass(frozen=True)
+class ReorderQuality:
+    """Bundle of ordering-quality numbers for one (matrix, ordering) pair."""
+
+    name: str
+    mean_nnz_tc: float
+    n_blocks: int
+    nnz: int
+    block_reduction_vs_original: float  # >1 means fewer blocks than original
+
+    def as_row(self) -> dict:
+        return {
+            "ordering": self.name,
+            "MeanNNZTC": round(self.mean_nnz_tc, 3),
+            "blocks": self.n_blocks,
+            "reduction": round(self.block_reduction_vs_original, 3),
+        }
+
+
+def reorder_quality(
+    csr: CSRMatrix, result: ReorderResult,
+    window_rows: int = TILE_ROWS, block_cols: int = TILE_COLS,
+) -> ReorderQuality:
+    """Evaluate one ordering against the original layout."""
+    blocks = count_tc_blocks(csr, result, window_rows, block_cols)
+    base_blocks = count_tc_blocks(csr, None, window_rows, block_cols)
+    return ReorderQuality(
+        name=result.name,
+        mean_nnz_tc=csr.nnz / blocks if blocks else 0.0,
+        n_blocks=blocks,
+        nnz=csr.nnz,
+        block_reduction_vs_original=base_blocks / blocks if blocks else 0.0,
+    )

@@ -1,0 +1,65 @@
+"""Sparse-matrix substrate: containers, I/O, generators, dataset registry.
+
+Built from scratch (not a thin wrapper over :mod:`scipy.sparse`) because the
+formats work (BitTCF / ME-TCF / TCF) needs direct control over the index
+arrays, the tie-break ordering of duplicates, and the byte-level footprint
+accounting the paper's Figure 12 compares.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.convert import coo_to_csr, csr_to_coo, from_scipy, to_scipy
+from repro.sparse.io import load_matrix_market, save_matrix_market
+from repro.sparse.stats import MatrixStats, matrix_stats
+from repro.sparse.random import (
+    banded_matrix,
+    block_community_graph,
+    erdos_renyi,
+    kronecker_graph,
+    powerlaw_graph,
+    road_network,
+)
+from repro.sparse.datasets import DATASETS, DatasetSpec, load_dataset, list_datasets
+from repro.sparse.ops import (
+    add,
+    diagonal,
+    gcn_normalize,
+    scale_cols,
+    scale_rows,
+    take_cols,
+    take_rows,
+    transpose,
+    with_self_loops,
+)
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "coo_to_csr",
+    "csr_to_coo",
+    "from_scipy",
+    "to_scipy",
+    "load_matrix_market",
+    "save_matrix_market",
+    "MatrixStats",
+    "matrix_stats",
+    "banded_matrix",
+    "block_community_graph",
+    "erdos_renyi",
+    "kronecker_graph",
+    "powerlaw_graph",
+    "road_network",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "list_datasets",
+    "add",
+    "diagonal",
+    "gcn_normalize",
+    "scale_cols",
+    "scale_rows",
+    "take_cols",
+    "take_rows",
+    "transpose",
+    "with_self_loops",
+]

@@ -1,0 +1,54 @@
+"""Conversions between sparse containers (and to/from SciPy for testing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def coo_to_csr(coo: COOMatrix, sum_duplicates: bool = True) -> CSRMatrix:
+    """Convert COO to CSR with sorted columns per row.
+
+    Duplicate coordinates are summed unless ``sum_duplicates`` is False, in
+    which case they are kept side by side (useful for stress-testing the
+    tiled-format builders against malformed input).
+    """
+    c = coo.canonical() if sum_duplicates else coo
+    if not sum_duplicates:
+        key = c.rows * c.n_cols + c.cols
+        order = np.argsort(key, kind="stable")
+        c = COOMatrix(c.n_rows, c.n_cols, c.rows[order], c.cols[order], c.vals[order])
+    counts = np.bincount(c.rows, minlength=c.n_rows)
+    indptr = np.zeros(c.n_rows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRMatrix(c.n_rows, c.n_cols, indptr, c.cols, c.vals)
+
+
+def csr_to_coo(csr: CSRMatrix) -> COOMatrix:
+    """Convert CSR back to canonical COO."""
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    return COOMatrix(csr.n_rows, csr.n_cols, rows, csr.indices, csr.vals)
+
+
+def from_scipy(mat) -> CSRMatrix:
+    """Build a :class:`CSRMatrix` from any SciPy sparse matrix."""
+    m = mat.tocsr().sorted_indices()
+    m.sum_duplicates()
+    return CSRMatrix(
+        m.shape[0],
+        m.shape[1],
+        m.indptr.astype(np.int64),
+        m.indices.astype(np.int64),
+        m.data.astype(np.float32),
+    )
+
+
+def to_scipy(csr: CSRMatrix):
+    """Export to :class:`scipy.sparse.csr_matrix` (lazy import)."""
+    import scipy.sparse as sp
+
+    return sp.csr_matrix(
+        (csr.vals, csr.indices, csr.indptr), shape=(csr.n_rows, csr.n_cols)
+    )

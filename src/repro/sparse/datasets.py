@@ -1,0 +1,202 @@
+"""Registry of the paper's Table-2 evaluation datasets.
+
+The paper evaluates on 10 real-world matrices (SuiteSparse / SNAP / DGL /
+OGB).  Those collections are not available offline, so each entry here is a
+*seeded synthetic equivalent* produced by the generator matching the
+dataset's structural family, scaled down so the pure-Python simulator
+completes in seconds.  Two invariants of the paper's analysis are preserved:
+
+* the **AvgL ordering and type-1/type-2 classification** (type-2 keeps
+  AvgL >= 32, the property driving the pipeline and load-balancing results);
+* the **structural family** (molecular block-diagonal batches, road
+  networks, heavy-tailed web/social graphs), which is what the reordering
+  comparison (Figure 10/11) keys on.
+
+Scaling policy (documented per entry): type-1 datasets keep the paper's
+AvgL and shrink rows by 32-64x; the three type-2 datasets shrink rows by
+8-20x and AvgL by 2-5x so their density stays within ~4x of the original
+(density controls collision rates inside 8x8 TC blocks).  EXPERIMENTS.md
+carries the full paper-vs-built table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ValidationError
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.random import (
+    block_community_graph,
+    powerlaw_graph,
+    road_network,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-2 dataset: paper statistics plus our synthetic recipe."""
+
+    name: str
+    abbr: str
+    paper_rows: int
+    paper_nnz: int
+    paper_avgl: float
+    family: str  # molecular | road | web | social
+    source: str  # provenance note from Table 2
+    builder: Callable[[int], "object"]  # seed -> COOMatrix
+
+    @property
+    def paper_type(self) -> int:
+        """Paper's type split: type-2 are the three AvgL>100 datasets."""
+        return 2 if self.paper_avgl >= 32.0 else 1
+
+
+def _molecular(n: int, avg_block: float, avg_degree: float):
+    # Molecular batches: thousands of ~25-vertex molecules. block count
+    # chosen so the mean molecule matches TC-GNN's dataset statistics.
+    def build(seed: int):
+        return block_community_graph(
+            n, n_blocks=max(2, n // 26), avg_block_degree=avg_degree, seed=seed
+        )
+
+    return build
+
+
+def _road(n: int):
+    def build(seed: int):
+        return road_network(n, seed=seed)
+
+    return build
+
+
+def _web(n: int, avg_degree: float, blocks: int, intra: float = 0.8,
+         exponent: float = 2.1, max_degree: int | None = None):
+    def build(seed: int):
+        return powerlaw_graph(
+            n,
+            avg_degree,
+            exponent=exponent,
+            community_blocks=blocks,
+            intra_fraction=intra,
+            max_degree=max_degree,
+            seed=seed,
+        )
+
+    return build
+
+
+#: The 10 Table-2 datasets, in the paper's row order.
+DATASETS: dict[str, DatasetSpec] = {
+    spec.abbr: spec
+    for spec in [
+        DatasetSpec(
+            "YeastH", "YH", 3_138_114, 6_487_230, 2.07, "molecular",
+            "TC-GNN", _molecular(49_000, 26.0, 2.07),
+        ),
+        DatasetSpec(
+            "OVCAR-8H", "OH", 1_889_542, 3_946_402, 2.09, "molecular",
+            "TC-GNN", _molecular(29_524, 26.0, 2.09),
+        ),
+        DatasetSpec(
+            "Yeast", "Yt", 1_710_902, 3_636_546, 2.13, "molecular",
+            "TC-GNN", _molecular(26_733, 26.0, 2.13),
+        ),
+        DatasetSpec(
+            "roadNet-CA", "rCA", 1_971_281, 5_533_214, 2.81, "road",
+            "SNAP", _road(30_801),
+        ),
+        DatasetSpec(
+            "roadNet-PA", "rPA", 1_090_920, 3_083_796, 2.83, "road",
+            "SNAP", _road(17_045),
+        ),
+        DatasetSpec(
+            "DD", "DD", 334_926, 1_686_092, 5.03, "molecular",
+            "TC-GNN", _molecular(10_466, 60.0, 5.03),
+        ),
+        DatasetSpec(
+            "web-BerkStan", "WB", 685_230, 7_600_595, 11.09, "web",
+            # real web-BerkStan's max out-degree is ~249; cap the hubs so
+            # the scaled-down twin keeps the same straggler-to-aggregate
+            # ratio as the original
+            "SNAP", _web(21_413, 11.09, blocks=160, intra=0.85,
+                         exponent=1.9, max_degree=250),
+        ),
+        DatasetSpec(
+            "FraudYelp-RSR", "FY-RSR", 45_954, 6_805_486, 148.09, "social",
+            "DGL", _web(5_744, 74.0, blocks=120, intra=0.85, exponent=2.5),
+        ),
+        DatasetSpec(
+            "reddit", "reddit", 232_965, 114_848_857, 492.99, "social",
+            "DGL", _web(11_648, 130.0, blocks=182, intra=0.88, exponent=2.3),
+        ),
+        DatasetSpec(
+            "protein", "protein", 132_534, 79_255_038, 598.00, "social",
+            "OGB", _web(6_627, 120.0, blocks=8, intra=0.3, exponent=2.6),
+        ),
+    ]
+}
+
+#: Default seed for deterministic dataset builds across the whole harness.
+DEFAULT_SEED = 20250301  # PPoPP'25 opening day
+
+
+def list_datasets() -> list[str]:
+    """Dataset abbreviations in Table-2 order."""
+    return list(DATASETS.keys())
+
+
+def _cache_dir() -> "Path | None":
+    """Directory for the on-disk dataset cache (None disables caching)."""
+    import os
+
+    root = os.environ.get("REPRO_CACHE_DIR", os.path.expanduser("~/.cache"))
+    if root in ("", "0", "off"):
+        return None
+    path = Path(root) / "repro-datasets"
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    return path
+
+
+@lru_cache(maxsize=16)
+def load_dataset(abbr: str, seed: int = DEFAULT_SEED) -> CSRMatrix:
+    """Build (and memoise) the synthetic equivalent of a Table-2 dataset.
+
+    Results are cached in memory per process and on disk (``~/.cache`` or
+    ``$REPRO_CACHE_DIR``) keyed by name and seed, because the heavier
+    generators take seconds and every experiment re-reads them.
+    """
+    if abbr not in DATASETS:
+        raise ValidationError(
+            f"unknown dataset {abbr!r}; available: {', '.join(DATASETS)}"
+        )
+    import numpy as np
+
+    cache = _cache_dir()
+    cache_file = cache / f"{abbr}-{seed}-v1.npz" if cache else None
+    if cache_file is not None and cache_file.exists():
+        blob = np.load(cache_file)
+        return CSRMatrix(
+            int(blob["n_rows"]),
+            int(blob["n_cols"]),
+            blob["indptr"],
+            blob["indices"],
+            blob["vals"],
+        )
+    csr = coo_to_csr(DATASETS[abbr].builder(seed))
+    if cache_file is not None:
+        np.savez_compressed(
+            cache_file,
+            n_rows=csr.n_rows,
+            n_cols=csr.n_cols,
+            indptr=csr.indptr,
+            indices=csr.indices,
+            vals=csr.vals,
+        )
+    return csr

@@ -1,0 +1,118 @@
+"""Matrix Market (``.mtx``) reader/writer.
+
+The paper evaluates on the SuiteSparse Matrix Collection, which distributes
+matrices as Matrix Market files.  We implement the coordinate subset of the
+format (the one SuiteSparse uses) from scratch: ``general`` / ``symmetric``
+symmetry, ``real`` / ``integer`` / ``pattern`` fields, 1-based indices and
+``%`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.sparse.coo import COOMatrix
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRY = {"general", "symmetric", "skew-symmetric"}
+
+
+def load_matrix_market(path_or_file) -> COOMatrix:
+    """Parse a Matrix Market coordinate file into a :class:`COOMatrix`.
+
+    Symmetric entries are mirrored (off-diagonal entries duplicated across
+    the diagonal), matching how SpMM treats SuiteSparse symmetric matrices.
+    """
+    if hasattr(path_or_file, "read"):
+        text = path_or_file.read()
+        if isinstance(text, bytes):
+            text = text.decode("utf-8")
+    else:
+        text = Path(path_or_file).read_text()
+    lines = iter(text.splitlines())
+
+    header = next(lines, "")
+    parts = header.strip().lower().split()
+    if (
+        len(parts) != 5
+        or parts[0] != "%%matrixmarket"
+        or parts[1] != "matrix"
+        or parts[2] != "coordinate"
+    ):
+        raise FormatError(f"unsupported MatrixMarket header: {header!r}")
+    field, symmetry = parts[3], parts[4]
+    if field not in _SUPPORTED_FIELDS:
+        raise FormatError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRY:
+        raise FormatError(f"unsupported symmetry {symmetry!r}")
+
+    size_line = None
+    for line in lines:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("%"):
+            size_line = stripped
+            break
+    if size_line is None:
+        raise FormatError("missing size line")
+    try:
+        n_rows, n_cols, nnz = (int(tok) for tok in size_line.split())
+    except ValueError as exc:
+        raise FormatError(f"bad size line: {size_line!r}") from exc
+
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.ones(nnz, dtype=np.float32)
+    k = 0
+    for line in lines:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("%"):
+            continue
+        if k >= nnz:
+            raise FormatError("more entries than declared in size line")
+        toks = stripped.split()
+        rows[k] = int(toks[0]) - 1
+        cols[k] = int(toks[1]) - 1
+        if field != "pattern":
+            if len(toks) < 3:
+                raise FormatError(f"entry missing value: {stripped!r}")
+            vals[k] = float(toks[2])
+        k += 1
+    if k != nnz:
+        raise FormatError(f"declared {nnz} entries, found {k}")
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows != cols
+        sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        mirrored_rows = cols[off_diag]
+        mirrored_cols = rows[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        vals = np.concatenate([vals, sign * vals[off_diag]]).astype(np.float32)
+
+    return COOMatrix(n_rows, n_cols, rows, cols, vals)
+
+
+def save_matrix_market(coo: COOMatrix, path_or_file, field: str = "real") -> None:
+    """Write a :class:`COOMatrix` as a general coordinate Matrix Market file."""
+    if field not in ("real", "pattern"):
+        raise FormatError(f"unsupported output field {field!r}")
+    c = coo.canonical()
+    buf = io.StringIO()
+    buf.write(f"%%MatrixMarket matrix coordinate {field} general\n")
+    buf.write("% written by repro (Acc-SpMM reproduction)\n")
+    buf.write(f"{c.n_rows} {c.n_cols} {c.nnz}\n")
+    if field == "real":
+        for r, col, v in zip(c.rows, c.cols, c.vals):
+            buf.write(f"{r + 1} {col + 1} {v:.9g}\n")
+    else:
+        for r, col in zip(c.rows, c.cols):
+            buf.write(f"{r + 1} {col + 1}\n")
+    text = buf.getvalue()
+    if hasattr(path_or_file, "write"):
+        path_or_file.write(text)
+    else:
+        Path(path_or_file).write_text(text)

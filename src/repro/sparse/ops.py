@@ -1,0 +1,128 @@
+"""Structural operations on CSR matrices.
+
+Utilities a downstream SpMM user needs around the core kernel: transpose,
+row/column slicing, diagonal extraction and scaling (GCN normalisation),
+and elementwise addition — all built on the library's own containers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.convert import coo_to_csr, csr_to_coo
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+def transpose(csr: CSRMatrix) -> CSRMatrix:
+    """A^T in CSR form (one counting sort over the nnz)."""
+    return coo_to_csr(csr_to_coo(csr).transpose())
+
+
+def take_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
+    """Submatrix of the selected rows (kept in the given order)."""
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size and (rows.min() < 0 or rows.max() >= csr.n_rows):
+        raise ValidationError("row selection out of range")
+    lengths = csr.row_lengths()[rows]
+    indptr = np.zeros(rows.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    total = int(indptr[-1])
+    indices = np.empty(total, dtype=np.int64)
+    vals = np.empty(total, dtype=np.float32)
+    for out_i, r in enumerate(rows):
+        lo, hi = csr.indptr[r], csr.indptr[r + 1]
+        o0 = indptr[out_i]
+        indices[o0 : o0 + hi - lo] = csr.indices[lo:hi]
+        vals[o0 : o0 + hi - lo] = csr.vals[lo:hi]
+    return CSRMatrix(max(1, rows.size), csr.n_cols, indptr, indices, vals)
+
+
+def take_cols(csr: CSRMatrix, cols: np.ndarray) -> CSRMatrix:
+    """Submatrix of the selected columns (renumbered 0..k-1)."""
+    cols = np.asarray(cols, dtype=np.int64)
+    if cols.size and (cols.min() < 0 or cols.max() >= csr.n_cols):
+        raise ValidationError("column selection out of range")
+    remap = np.full(csr.n_cols, -1, dtype=np.int64)
+    remap[cols] = np.arange(cols.size)
+    keep = remap[csr.indices] >= 0
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    return coo_to_csr(
+        COOMatrix(
+            csr.n_rows,
+            max(1, cols.size),
+            rows[keep],
+            remap[csr.indices[keep]],
+            csr.vals[keep],
+        )
+    )
+
+
+def diagonal(csr: CSRMatrix) -> np.ndarray:
+    """Main diagonal as a dense vector (zeros where absent)."""
+    out = np.zeros(min(csr.n_rows, csr.n_cols), dtype=np.float64)
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    on_diag = rows == csr.indices
+    out[rows[on_diag]] = csr.vals[on_diag]
+    return out
+
+
+def scale_rows(csr: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
+    """Left-multiply by diag(factors)."""
+    factors = np.asarray(factors, dtype=np.float64)
+    if factors.shape != (csr.n_rows,):
+        raise ValidationError(f"factors must have shape ({csr.n_rows},)")
+    rows = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.row_lengths())
+    return CSRMatrix(
+        csr.n_rows, csr.n_cols, csr.indptr, csr.indices,
+        (csr.vals * factors[rows]).astype(np.float32),
+    )
+
+
+def scale_cols(csr: CSRMatrix, factors: np.ndarray) -> CSRMatrix:
+    """Right-multiply by diag(factors)."""
+    factors = np.asarray(factors, dtype=np.float64)
+    if factors.shape != (csr.n_cols,):
+        raise ValidationError(f"factors must have shape ({csr.n_cols},)")
+    return CSRMatrix(
+        csr.n_rows, csr.n_cols, csr.indptr, csr.indices,
+        (csr.vals * factors[csr.indices]).astype(np.float32),
+    )
+
+
+def add(a: CSRMatrix, b: CSRMatrix) -> CSRMatrix:
+    """Elementwise A + B (duplicates summed through canonical COO)."""
+    if a.shape != b.shape:
+        raise ValidationError(f"shape mismatch: {a.shape} vs {b.shape}")
+    ca, cb = csr_to_coo(a), csr_to_coo(b)
+    return coo_to_csr(
+        COOMatrix(
+            a.n_rows,
+            a.n_cols,
+            np.concatenate([ca.rows, cb.rows]),
+            np.concatenate([ca.cols, cb.cols]),
+            np.concatenate([ca.vals, cb.vals]),
+        )
+    )
+
+
+def with_self_loops(csr: CSRMatrix, weight: float = 1.0) -> CSRMatrix:
+    """A + weight*I — the GCN \\hat{A} construction."""
+    if csr.n_rows != csr.n_cols:
+        raise ValidationError("self loops require a square matrix")
+    n = csr.n_rows
+    eye = CSRMatrix(
+        n, n, np.arange(n + 1, dtype=np.int64),
+        np.arange(n, dtype=np.int64),
+        np.full(n, weight, dtype=np.float32),
+    )
+    return add(csr, eye)
+
+
+def gcn_normalize(csr: CSRMatrix) -> CSRMatrix:
+    """Symmetric GCN normalisation D^-1/2 (A + I) D^-1/2."""
+    a_hat = with_self_loops(csr)
+    deg = np.asarray(a_hat.row_lengths(), dtype=np.float64)
+    d = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+    return scale_cols(scale_rows(a_hat, d), d)

@@ -1,0 +1,291 @@
+"""Synthetic sparse-workload generators.
+
+The paper evaluates on four families of real-world matrices (Table 2):
+
+* molecular-graph batches from TC-GNN (YeastH, OVCAR-8H, Yeast, DD) — block
+  diagonal unions of many small graphs, AvgL ~2-5;
+* road networks from SNAP (roadNet-CA/PA) — near-planar, low constant
+  degree, strong spatial locality;
+* web/power-law graphs (web-BerkStan, FraudYelp-RSR, reddit) — heavy-tailed
+  degree distributions, community structure;
+* bio networks (protein, from OGB) — dense power-law, AvgL ~600.
+
+Each generator here reproduces one family's structural signature (degree
+distribution, community structure, bandwidth) at configurable scale, with a
+seed so every experiment is reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.util.rng import rng_from_seed
+
+
+def _finish(n: int, rows, cols, vals=None, symmetric: bool = False) -> COOMatrix:
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    if symmetric:
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+    if vals is None:
+        vals = np.ones(rows.size, dtype=np.float32)
+    else:
+        vals = np.asarray(vals, dtype=np.float32)
+        if symmetric:
+            vals = np.concatenate([vals, vals]).astype(np.float32)
+    return COOMatrix(n, n, rows, cols, vals).canonical()
+
+
+def erdos_renyi(
+    n: int, avg_degree: float, seed=None, values: str = "ones"
+) -> COOMatrix:
+    """Uniform random graph: every edge independent, expected degree given.
+
+    ``values`` is either ``"ones"`` (adjacency) or ``"uniform"`` (weights in
+    (0, 1], useful for numeric tests where cancellation should not occur).
+    """
+    if avg_degree <= 0 or avg_degree >= n:
+        raise ValidationError("avg_degree must lie in (0, n)")
+    rng = rng_from_seed(seed)
+    m = int(n * avg_degree)
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    vals = None
+    if values == "uniform":
+        vals = rng.uniform(0.1, 1.0, size=m).astype(np.float32)
+    elif values != "ones":
+        raise ValidationError(f"unknown values mode {values!r}")
+    return _finish(n, rows, cols, vals)
+
+
+def powerlaw_graph(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.1,
+    community_blocks: int = 0,
+    intra_fraction: float = 0.8,
+    max_degree: int | None = None,
+    seed=None,
+) -> COOMatrix:
+    """Heavy-tailed degree graph with optional planted communities.
+
+    Out-degrees are drawn from a truncated zeta-like distribution with the
+    given ``exponent``; targets are drawn preferentially (proportional to the
+    same weights) which produces the power-law in-degree tail seen in web
+    and social graphs (web-BerkStan, reddit, FraudYelp-RSR).
+
+    When ``community_blocks > 0`` the vertex set is split into that many
+    groups and ``intra_fraction`` of each vertex's edges land inside its own
+    group — the community structure that modularity-based reordering
+    (Rabbit, Louvain, data-affinity) exploits.  The vertex ids are then
+    scrambled so the raw matrix does *not* expose the block structure: a
+    reorderer has to rediscover it, exactly like on a real crawled graph.
+    """
+    rng = rng_from_seed(seed)
+    # Truncated power-law degree sequence scaled to the requested mean.
+    # ``max_degree`` matches a real graph's hub size at reduced scale
+    # (e.g. web-BerkStan's max out-degree is ~250 regardless of n).
+    raw = rng.pareto(exponent - 1.0, size=n) + 1.0
+    raw = np.minimum(raw, n / 4)
+    base_degrees = np.maximum(
+        1, np.round(raw * (avg_degree / raw.mean()))
+    ).astype(np.int64)
+    if max_degree is not None:
+        base_degrees = np.minimum(base_degrees, max_degree)
+        raw = np.minimum(raw, raw.min() * max_degree)
+    weights = raw / raw.sum()
+
+    block = None
+    member_lists: list[np.ndarray] = []
+    member_cdfs: list[np.ndarray] = []
+    if community_blocks and community_blocks > 1:
+        block = rng.integers(0, community_blocks, size=n)
+        for b in range(community_blocks):
+            m = np.where(block == b)[0]
+            member_lists.append(m)
+            if m.size:
+                cdf = np.cumsum(weights[m])
+                member_cdfs.append(cdf / cdf[-1])
+            else:
+                member_cdfs.append(np.empty(0))
+    global_cdf = np.cumsum(weights)
+    global_cdf /= global_cdf[-1]
+
+    def pref_sample(count: int, cdf: np.ndarray, ids: np.ndarray | None):
+        # Inverse-CDF sampling: O(count log n), no per-call table builds.
+        picks = np.searchsorted(cdf, rng.random(count), side="right")
+        picks = np.minimum(picks, cdf.size - 1)
+        return picks if ids is None else ids[picks]
+
+    def sample_round(degrees: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        total = int(degrees.sum())
+        src = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        if block is None:
+            return src, pref_sample(total, global_cdf, None)
+        dst = np.empty(total, dtype=np.int64)
+        intra = rng.random(total) < intra_fraction
+        src_block = block[src]
+        for b in range(community_blocks):
+            sel = intra & (src_block == b)
+            cnt = int(sel.sum())
+            if cnt and member_lists[b].size:
+                dst[sel] = pref_sample(cnt, member_cdfs[b], member_lists[b])
+            elif cnt:
+                dst[sel] = rng.integers(0, n, size=cnt)
+        n_inter = int((~intra).sum())
+        dst[~intra] = pref_sample(n_inter, global_cdf, None)
+        return src, dst
+
+    # Preferential sampling produces duplicate edges which canonicalisation
+    # sums away; resample in rounds until the deduplicated edge count hits
+    # the target so the requested AvgL is met.
+    target_nnz = int(n * avg_degree)
+    src, dst = sample_round(base_degrees)
+    seen_keys = np.unique(src * np.int64(n) + dst)
+    for _ in range(8):
+        deficit = target_nnz - seen_keys.size
+        if deficit <= target_nnz * 0.02:
+            break
+        # Scale the whole degree sequence down to the deficit and resample.
+        scale = deficit / max(1, int(base_degrees.sum()))
+        extra_deg = np.maximum(
+            0, rng.poisson(base_degrees * min(1.5, 2.0 * scale))
+        ).astype(np.int64)
+        if extra_deg.sum() == 0:
+            break
+        es, ed = sample_round(extra_deg)
+        seen_keys = np.union1d(seen_keys, es * np.int64(n) + ed)
+    src = (seen_keys // n).astype(np.int64)
+    dst = (seen_keys % n).astype(np.int64)
+
+    # Scramble ids so the planted structure is hidden from the reorderer.
+    scramble = rng.permutation(n).astype(np.int64)
+    return _finish(n, scramble[src], scramble[dst])
+
+
+def road_network(
+    n: int, extra_edge_fraction: float = 0.06, seed=None
+) -> COOMatrix:
+    """Near-planar low-degree graph shaped like SNAP road networks.
+
+    Vertices live on a jittered sqrt(n) x sqrt(n) grid; each connects to its
+    lattice neighbours, plus a few random short-range chords.  AvgL lands
+    near 2.8 (cf. roadNet-CA 2.81, roadNet-PA 2.83) and the graph has the
+    huge-diameter, low-locality-violation structure of real road networks.
+    The ids are scrambled like in :func:`powerlaw_graph`.
+    """
+    rng = rng_from_seed(seed)
+    side = int(np.ceil(np.sqrt(n)))
+    idx = np.arange(n, dtype=np.int64)
+    x, y = idx % side, idx // side
+
+    edges_r: list[np.ndarray] = []
+    edges_c: list[np.ndarray] = []
+    right = idx + 1
+    ok = (x < side - 1) & (right < n)
+    # Keep ~64% of lattice edges: real road graphs average degree ~2.8
+    # (many degree-1 stubs and degree-3 junctions, few full crossings).
+    keep = rng.random(int(ok.sum())) < 0.64
+    edges_r.append(idx[ok][keep])
+    edges_c.append(right[ok][keep])
+    down = idx + side
+    ok = down < n
+    keep = rng.random(int(ok.sum())) < 0.64
+    edges_r.append(idx[ok][keep])
+    edges_c.append(down[ok][keep])
+
+    n_extra = int(n * extra_edge_fraction)
+    if n_extra:
+        src = rng.integers(0, n, size=n_extra)
+        # Chords stay short-range: offset by up to two grid rows.
+        offset = rng.integers(1, 2 * side, size=n_extra)
+        dst = np.minimum(src + offset, n - 1)
+        edges_r.append(src)
+        edges_c.append(dst)
+
+    rows = np.concatenate(edges_r)
+    cols = np.concatenate(edges_c)
+    scramble = rng.permutation(n).astype(np.int64)
+    return _finish(n, scramble[rows], scramble[cols], symmetric=True)
+
+
+def block_community_graph(
+    n: int,
+    n_blocks: int,
+    avg_block_degree: float,
+    inter_fraction: float = 0.02,
+    seed=None,
+) -> COOMatrix:
+    """Union of dense-ish communities with sparse inter-links.
+
+    Models the TC-GNN molecular datasets (YeastH, OVCAR-8H, Yeast, DD): a
+    batch of thousands of small graphs, each vertex connected only within
+    its molecule plus rare batch-level links.  Ids are scrambled.
+    """
+    if n_blocks <= 0 or n_blocks > n:
+        raise ValidationError("n_blocks must lie in [1, n]")
+    rng = rng_from_seed(seed)
+    block_of = np.sort(rng.integers(0, n_blocks, size=n))
+    # Oversample ~12% to compensate for duplicate edges summed at
+    # canonicalisation (small blocks make collisions common).
+    m = int(n * avg_block_degree / 2 * 1.12)
+    src = rng.integers(0, n, size=m)
+    # Intra-block target: random member of the same block found by binary
+    # search over the sorted block assignment.
+    starts = np.searchsorted(block_of, np.arange(n_blocks))
+    ends = np.searchsorted(block_of, np.arange(n_blocks), side="right")
+    b = block_of[src]
+    span = np.maximum(ends[b] - starts[b], 1)
+    dst = starts[b] + (rng.random(m) * span).astype(np.int64)
+    inter = rng.random(m) < inter_fraction
+    dst[inter] = rng.integers(0, n, size=int(inter.sum()))
+    scramble = rng.permutation(n).astype(np.int64)
+    return _finish(n, scramble[src], scramble[dst], symmetric=True)
+
+
+def banded_matrix(n: int, bandwidth: int, fill: float = 0.6, seed=None) -> COOMatrix:
+    """Random banded matrix (|i-j| <= bandwidth), a classic PDE stencil shape."""
+    if bandwidth < 0 or bandwidth >= n:
+        raise ValidationError("bandwidth must lie in [0, n)")
+    rng = rng_from_seed(seed)
+    offsets = np.arange(-bandwidth, bandwidth + 1)
+    rows_list, cols_list = [], []
+    for off in offsets:
+        lo, hi = max(0, -off), min(n, n - off)
+        r = np.arange(lo, hi, dtype=np.int64)
+        keep = rng.random(r.size) < fill
+        rows_list.append(r[keep])
+        cols_list.append(r[keep] + off)
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = rng.uniform(0.1, 1.0, size=rows.size).astype(np.float32)
+    return _finish(n, rows, cols, vals)
+
+
+def kronecker_graph(scale: int, edge_factor: int = 16, seed=None) -> COOMatrix:
+    """RMAT/Kronecker generator (Graph500 parameters a=.57 b=.19 c=.19).
+
+    Produces the skewed, self-similar structure of large web/social graphs;
+    used for the scaled "suitesparse-like" collection in the geomean bench.
+    """
+    if scale < 2 or scale > 24:
+        raise ValidationError("scale must lie in [2, 24]")
+    rng = rng_from_seed(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    a, b, c = 0.57, 0.19, 0.19
+    rows = np.zeros(m, dtype=np.int64)
+    cols = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    a_norm = a / ab
+    c_norm = c / (1.0 - ab)
+    for bit in range(scale):
+        r_bit = rng.random(m) > ab
+        flip = np.where(r_bit, c_norm, a_norm)
+        c_bit = rng.random(m) > flip
+        rows |= r_bit.astype(np.int64) << bit
+        cols |= c_bit.astype(np.int64) << bit
+    scramble = rng.permutation(n).astype(np.int64)
+    return _finish(n, scramble[rows], scramble[cols])

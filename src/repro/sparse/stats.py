@@ -1,0 +1,65 @@
+"""Matrix statistics: AvgL, imbalance, and the paper's type-1/type-2 split.
+
+§4.1: "Based on AvgL, we categorize the datasets into two types: type-1
+matrices, which have a small AvgL, and type-2 matrices which have a large
+AvgL."  The observed boundary in Table 2 sits between web-BerkStan
+(AvgL 11.09, type-1) and FraudYelp-RSR (AvgL 148.09, type-2); we use
+AvgL >= 32 as the classification threshold (any cut in (11.1, 148.0) yields
+the paper's grouping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+TYPE2_AVGL_THRESHOLD = 32.0
+
+
+@dataclass(frozen=True)
+class MatrixStats:
+    """Summary statistics of a sparse matrix, as reported in Table 2."""
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    avg_l: float
+    max_row_nnz: int
+    density: float
+    row_cv: float  # coefficient of variation of row lengths (imbalance proxy)
+    empty_rows: int
+
+    @property
+    def matrix_type(self) -> int:
+        """1 for small-AvgL matrices, 2 for large-AvgL (paper §4.1)."""
+        return 2 if self.avg_l >= TYPE2_AVGL_THRESHOLD else 1
+
+    def as_row(self) -> dict:
+        """Table-2-style dict (for the bench harness reporting)."""
+        return {
+            "rows": self.n_rows,
+            "cols": self.n_cols,
+            "nnz": self.nnz,
+            "AvgL": round(self.avg_l, 2),
+            "type": self.matrix_type,
+        }
+
+
+def matrix_stats(csr: CSRMatrix) -> MatrixStats:
+    """Compute :class:`MatrixStats` for a CSR matrix."""
+    lengths = csr.row_lengths().astype(np.float64)
+    avg = float(lengths.mean()) if csr.n_rows else 0.0
+    std = float(lengths.std()) if csr.n_rows else 0.0
+    return MatrixStats(
+        n_rows=csr.n_rows,
+        n_cols=csr.n_cols,
+        nnz=csr.nnz,
+        avg_l=avg,
+        max_row_nnz=int(lengths.max()) if lengths.size else 0,
+        density=csr.nnz / (csr.n_rows * csr.n_cols),
+        row_cv=(std / avg) if avg > 0 else 0.0,
+        empty_rows=int((lengths == 0).sum()),
+    )

@@ -1,0 +1,33 @@
+"""Shared low-level utilities: bit operations, RNG, timing, validation."""
+
+from repro.util.bitops import (
+    bit_index,
+    expand_bitmask,
+    mask_from_positions,
+    popcount64,
+    prefix_popcount,
+)
+from repro.util.rng import rng_from_seed, spawn_rngs
+from repro.util.timing import Timer, format_seconds
+from repro.util.validation import (
+    check_dense,
+    check_dtype,
+    check_positive,
+    check_range,
+)
+
+__all__ = [
+    "bit_index",
+    "expand_bitmask",
+    "mask_from_positions",
+    "popcount64",
+    "prefix_popcount",
+    "rng_from_seed",
+    "spawn_rngs",
+    "Timer",
+    "format_seconds",
+    "check_dense",
+    "check_dtype",
+    "check_positive",
+    "check_range",
+]

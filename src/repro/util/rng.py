@@ -1,0 +1,25 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic component in the library (workload generators, LSH
+reorderers, samplers) accepts either an integer seed or a ready-made
+:class:`numpy.random.Generator`; these helpers normalise the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def rng_from_seed(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a Generator from a seed, an existing Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list:
+    """Derive ``n`` statistically independent child generators."""
+    root = rng_from_seed(seed)
+    return [np.random.default_rng(s) for s in root.integers(0, 2**63 - 1, size=n)]

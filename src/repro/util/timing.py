@@ -1,0 +1,50 @@
+"""Wall-clock timing helpers for conversion-cost and harness measurements."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating context-manager timer.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        lap = time.perf_counter() - self._start
+        self.elapsed += lap
+        self.laps.append(lap)
+
+    @property
+    def mean(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable time: picks ns/us/ms/s automatically."""
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

@@ -1,0 +1,38 @@
+"""Argument-validation helpers used across the public API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> None:
+    """Require ``value > 0`` (or ``>= 0`` when ``strict`` is False)."""
+    if strict and not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Require ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValidationError(f"{name} must lie in [{lo}, {hi}], got {value!r}")
+
+
+def check_dtype(name: str, arr: np.ndarray, *allowed: type) -> None:
+    """Require the array dtype to be one of ``allowed`` NumPy kinds."""
+    if not any(np.issubdtype(arr.dtype, a) for a in allowed):
+        names = ", ".join(getattr(a, "__name__", str(a)) for a in allowed)
+        raise ValidationError(f"{name} must have dtype in ({names}), got {arr.dtype}")
+
+
+def check_dense(name: str, arr, ndim: int = 2) -> np.ndarray:
+    """Coerce ``arr`` to a C-contiguous float ndarray of ``ndim`` dimensions."""
+    out = np.ascontiguousarray(arr)
+    if out.ndim != ndim:
+        raise ValidationError(f"{name} must be {ndim}-D, got {out.ndim}-D")
+    if not np.issubdtype(out.dtype, np.floating):
+        out = out.astype(np.float32)
+    return out

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.random import block_community_graph, erdos_renyi, powerlaw_graph
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_csr(n_rows=64, n_cols=64, density=0.1, seed=0, values="uniform"):
+    """Small random CSR helper usable from any test."""
+    r = np.random.default_rng(seed)
+    mask = r.random((n_rows, n_cols)) < density
+    dense = np.where(mask, r.uniform(0.1, 1.0, (n_rows, n_cols)), 0.0)
+    if values == "ones":
+        dense = mask.astype(np.float32)
+    return coo_to_csr(COOMatrix.from_dense(dense.astype(np.float32)))
+
+
+@pytest.fixture
+def small_csr():
+    """64x64, ~10% dense, positive values (no cancellation)."""
+    return random_csr(seed=1)
+
+
+@pytest.fixture
+def medium_graph_csr():
+    """A 512-vertex community graph, the reorderers' natural input."""
+    return coo_to_csr(
+        block_community_graph(512, n_blocks=16, avg_block_degree=6.0, seed=3)
+    )
+
+
+@pytest.fixture
+def skewed_csr():
+    """Power-law matrix with hub rows (imbalance for the LB tests)."""
+    return coo_to_csr(
+        powerlaw_graph(512, avg_degree=24.0, exponent=1.9, seed=4)
+    )
+
+
+@pytest.fixture
+def uniform_csr():
+    """Uniform random graph (well balanced; IBD below threshold)."""
+    return coo_to_csr(erdos_renyi(512, avg_degree=6.0, seed=5))
+
+
+@pytest.fixture(scope="session")
+def dense_b():
+    r = np.random.default_rng(99)
+    return r.uniform(-1.0, 1.0, size=(64, 32)).astype(np.float32)

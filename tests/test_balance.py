@@ -1,0 +1,167 @@
+"""Unit tests for load balancing: IBD, the performance model, schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.balance import (
+    IBD_THRESHOLD,
+    MAX_BLOCKS_PER_TB,
+    PerfModelParams,
+    adaptive_schedule,
+    balanced_schedule,
+    dtc_schedule,
+    imbalance_degree,
+    needs_balancing,
+    row_window_schedule,
+    tb_time_model,
+)
+from repro.balance.perfmodel import load_dense_time, mma_time, writeback_time
+from repro.errors import ValidationError
+from repro.formats.tiling import build_tiling
+from repro.gpusim.specs import A800
+
+from tests.conftest import random_csr
+
+
+@pytest.fixture
+def balanced_tiling(uniform_csr):
+    return build_tiling(uniform_csr)
+
+
+@pytest.fixture
+def skewed_tiling(skewed_csr):
+    return build_tiling(skewed_csr)
+
+
+class TestIBD:
+    def test_threshold_is_paper_value(self):
+        assert IBD_THRESHOLD == 8.0
+
+    def test_uniform_matrix_balanced(self, balanced_tiling):
+        assert imbalance_degree(balanced_tiling) < IBD_THRESHOLD
+        assert not needs_balancing(balanced_tiling)
+
+    def test_ibd_is_mean_absolute_deviation(self, skewed_tiling):
+        per_w = skewed_tiling.blocks_per_window().astype(float)
+        expected = np.abs(per_w - per_w.mean()).mean()
+        assert imbalance_degree(skewed_tiling) == pytest.approx(expected)
+
+    def test_custom_threshold(self, skewed_tiling):
+        assert needs_balancing(skewed_tiling, threshold=0.0)
+        assert not needs_balancing(skewed_tiling, threshold=1e9)
+
+
+class TestPerfModel:
+    def test_equation4_terms_additive(self):
+        params = PerfModelParams.for_device(A800, 128)
+        blocks = np.array([4, 8])
+        segs = np.array([1, 2])
+        total = tb_time_model(params, blocks, segs)
+        parts = (
+            load_dense_time(params, blocks)
+            + mma_time(params, blocks)
+            + writeback_time(params, segs)
+        )
+        np.testing.assert_allclose(total, parts)
+
+    def test_without_writeback_is_dtc_model(self):
+        params = PerfModelParams.for_device(A800, 128)
+        with_wb = tb_time_model(params, [8], [3])
+        without = tb_time_model(params, [8], [3], include_writeback=False)
+        assert with_wb > without
+
+    def test_scales_with_feature_dim(self):
+        p128 = PerfModelParams.for_device(A800, 128)
+        p512 = PerfModelParams.for_device(A800, 512)
+        assert tb_time_model(p512, [8])[0] == pytest.approx(
+            4 * tb_time_model(p128, [8])[0]
+        )
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            PerfModelParams(feature_dim=0, bandwidth=1.0, flops=1.0)
+        with pytest.raises(ValidationError):
+            PerfModelParams(feature_dim=8, bandwidth=-1.0, flops=1.0)
+
+
+class TestSchedules:
+    def test_row_window_covers_all(self, skewed_tiling):
+        s = row_window_schedule(skewed_tiling)
+        s.validate_against(skewed_tiling)
+        assert not s.balanced
+        assert (s.segments_per_tb == 1).all()
+
+    def test_dtc_caps_chunks(self, skewed_tiling):
+        s = dtc_schedule(skewed_tiling, chunk=4)
+        s.validate_against(skewed_tiling)
+        assert s.blocks_per_tb().max() <= 4
+        # never concatenates windows
+        assert (s.segments_per_tb == 1).all()
+
+    def test_balanced_respects_cap(self, skewed_tiling):
+        s = balanced_schedule(skewed_tiling, A800, 128)
+        s.validate_against(skewed_tiling)
+        assert s.blocks_per_tb().max() <= MAX_BLOCKS_PER_TB
+        assert s.balanced
+
+    def test_balanced_evens_out_blocks(self, skewed_tiling):
+        unbal = row_window_schedule(skewed_tiling)
+        bal = balanced_schedule(skewed_tiling, A800, 128)
+        assert bal.blocks_per_tb().std() <= unbal.blocks_per_tb().std()
+
+    def test_adaptive_decision(self, skewed_tiling, balanced_tiling):
+        assert adaptive_schedule(
+            skewed_tiling, A800, 128, threshold=0.0
+        ).balanced
+        assert not adaptive_schedule(
+            balanced_tiling, A800, 128, threshold=1e9
+        ).balanced
+
+    def test_segments_count_windows(self, skewed_tiling):
+        s = balanced_schedule(skewed_tiling, A800, 128)
+        bw = skewed_tiling.block_window
+        for i in range(min(s.n_tbs, 20)):
+            lo, hi = s.tb_start[i], s.tb_end[i]
+            expected = np.unique(bw[lo:hi]).size
+            assert s.segments_per_tb[i] == expected
+
+    def test_validate_catches_gap(self, skewed_tiling):
+        from repro.balance.scheduler import TBAssignment
+
+        bad = TBAssignment(
+            tb_start=np.array([0, 5]),
+            tb_end=np.array([4, skewed_tiling.n_blocks]),  # gap at 4
+            segments_per_tb=np.array([1, 1]),
+            balanced=False,
+            strategy="bad",
+        )
+        with pytest.raises(ValidationError):
+            bad.validate_against(skewed_tiling)
+
+    def test_empty_matrix_schedule(self):
+        csr = random_csr(8, 8, 0.0, seed=0)
+        if csr.nnz:
+            pytest.skip("density 0 produced nnz")
+        t = build_tiling(csr)
+        s = row_window_schedule(t)
+        assert s.n_tbs == 0
+
+    @given(chunk=st.integers(min_value=1, max_value=MAX_BLOCKS_PER_TB))
+    @settings(max_examples=20, deadline=None)
+    def test_property_dtc_chunks_cover(self, chunk, ):
+        csr = random_csr(64, 64, 0.2, seed=11)
+        t = build_tiling(csr)
+        s = dtc_schedule(t, chunk=chunk)
+        s.validate_against(t)
+        assert s.blocks_per_tb().sum() == t.n_blocks
+
+
+class TestMakespanImprovement:
+    def test_lb_reduces_straggler(self, skewed_csr):
+        """LB must cut the longest TB's block count on a skewed matrix."""
+        t = build_tiling(skewed_csr)
+        unbal = row_window_schedule(t)
+        bal = balanced_schedule(t, A800, 128)
+        assert bal.blocks_per_tb().max() <= unbal.blocks_per_tb().max()

@@ -1,0 +1,113 @@
+"""Unit tests for uint64 bitmask operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.util.bitops import (
+    bit_index,
+    expand_bitmask,
+    mask_from_positions,
+    masks_from_block_positions,
+    popcount64,
+    prefix_popcount,
+)
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert popcount64(np.uint64(0)) == 0
+
+    def test_all_ones(self):
+        assert popcount64(np.uint64(0xFFFFFFFFFFFFFFFF)) == 64
+
+    def test_single_bits(self):
+        for b in range(64):
+            assert popcount64(np.uint64(1) << np.uint64(b)) == 1
+
+    def test_vectorised_matches_python(self):
+        rng = np.random.default_rng(0)
+        masks = rng.integers(0, 2**63, size=200, dtype=np.int64).astype(np.uint64)
+        expected = np.array([bin(int(m)).count("1") for m in masks])
+        np.testing.assert_array_equal(
+            np.asarray(popcount64(masks), dtype=np.int64), expected
+        )
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=200)
+    def test_property_matches_bin_count(self, value):
+        assert int(popcount64(np.uint64(value))) == bin(value).count("1")
+
+
+class TestMaskBuild:
+    def test_bit_index_row_major(self):
+        assert int(bit_index(0, 0)) == 0
+        assert int(bit_index(1, 0)) == 8
+        assert int(bit_index(7, 7)) == 63
+
+    def test_mask_from_positions_roundtrip(self):
+        rows = np.array([0, 3, 7])
+        cols = np.array([1, 4, 7])
+        mask = mask_from_positions(rows, cols)
+        bits = expand_bitmask(mask)[0]
+        assert bits.sum() == 3
+        for r, c in zip(rows, cols):
+            assert bits[r * 8 + c] == 1
+
+    def test_duplicate_positions_rejected(self):
+        with pytest.raises(ValidationError):
+            mask_from_positions(np.array([1, 1]), np.array([2, 2]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            mask_from_positions(np.array([8]), np.array([0]))
+
+    def test_batched_masks_match_single(self):
+        rng = np.random.default_rng(1)
+        n_blocks = 10
+        block_ids, rows, cols = [], [], []
+        singles = []
+        for b in range(n_blocks):
+            k = rng.integers(1, 9)
+            pos = rng.choice(64, size=k, replace=False)
+            r, c = pos // 8, pos % 8
+            singles.append(mask_from_positions(r, c))
+            block_ids.extend([b] * k)
+            rows.extend(r)
+            cols.extend(c)
+        batched = masks_from_block_positions(
+            np.array(block_ids), np.array(rows), np.array(cols), n_blocks
+        )
+        np.testing.assert_array_equal(batched, np.array(singles, dtype=np.uint64))
+
+
+class TestExpandAndPrefix:
+    def test_expand_empty_mask(self):
+        assert expand_bitmask(np.uint64(0)).sum() == 0
+
+    def test_expand_shape(self):
+        out = expand_bitmask(np.zeros(5, dtype=np.uint64))
+        assert out.shape == (5, 64)
+
+    def test_oversized_tile_rejected(self):
+        with pytest.raises(ValidationError):
+            expand_bitmask(np.uint64(1), width=9)
+
+    def test_prefix_popcount_is_exclusive_rank(self):
+        mask = mask_from_positions(np.array([0, 0, 1]), np.array([0, 5, 2]))
+        pp = prefix_popcount(mask)[0]
+        # bits set at positions 0, 5, 10
+        assert pp[0] == 0
+        assert pp[5] == 1
+        assert pp[10] == 2
+        # positions after the last nnz see the full count
+        assert pp[63] == 3
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100)
+    def test_prefix_popcount_monotone(self, value):
+        pp = prefix_popcount(np.uint64(value))[0]
+        assert (np.diff(pp) >= 0).all()
+        assert pp[0] == 0

@@ -1,0 +1,82 @@
+"""Unit tests for the Table-2 dataset registry and matrix statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.datasets import (
+    DATASETS,
+    DEFAULT_SEED,
+    list_datasets,
+    load_dataset,
+)
+from repro.sparse.stats import TYPE2_AVGL_THRESHOLD, matrix_stats
+
+from tests.conftest import random_csr
+
+
+class TestRegistry:
+    def test_ten_datasets_in_paper_order(self):
+        assert list_datasets() == [
+            "YH", "OH", "Yt", "rCA", "rPA", "DD", "WB",
+            "FY-RSR", "reddit", "protein",
+        ]
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValidationError):
+            load_dataset("nope")
+
+    def test_paper_type_split(self):
+        # three type-2 datasets, exactly the paper's
+        type2 = [a for a, s in DATASETS.items() if s.paper_type == 2]
+        assert sorted(type2) == ["FY-RSR", "protein", "reddit"]
+
+    @pytest.mark.parametrize("abbr", ["DD", "rPA"])
+    def test_built_type_matches_paper(self, abbr):
+        s = matrix_stats(load_dataset(abbr))
+        assert s.matrix_type == DATASETS[abbr].paper_type
+
+    def test_type2_preserved_for_social(self):
+        s = matrix_stats(load_dataset("FY-RSR"))
+        assert s.matrix_type == 2
+
+    def test_deterministic_across_calls(self):
+        a = load_dataset("DD", DEFAULT_SEED)
+        b = load_dataset("DD", DEFAULT_SEED)
+        assert a is b or np.array_equal(a.indices, b.indices)
+
+    def test_avgl_tracks_paper_for_type1(self):
+        for abbr in ["YH", "DD"]:
+            s = matrix_stats(load_dataset(abbr))
+            assert abs(s.avg_l - DATASETS[abbr].paper_avgl) < 0.5
+
+
+class TestStats:
+    def test_counts(self):
+        csr = random_csr(32, 32, 0.25, seed=0)
+        s = matrix_stats(csr)
+        assert s.nnz == csr.nnz
+        assert s.n_rows == 32
+        assert abs(s.avg_l - csr.nnz / 32) < 1e-12
+        assert 0 < s.density < 1
+
+    def test_type_threshold(self):
+        n = 8
+        indptr = np.arange(0, n * 40 + 1, 40)
+        indices = np.tile(np.arange(40), n)
+        csr = CSRMatrix(n, 64, indptr, indices, np.ones(n * 40, np.float32))
+        assert matrix_stats(csr).matrix_type == (
+            2 if 40 >= TYPE2_AVGL_THRESHOLD else 1
+        )
+
+    def test_empty_rows_counted(self):
+        csr = CSRMatrix(
+            4, 4, np.array([0, 0, 1, 1, 2]), np.array([0, 1]),
+            np.ones(2, np.float32),
+        )
+        assert matrix_stats(csr).empty_rows == 2
+
+    def test_as_row_fields(self):
+        row = matrix_stats(random_csr(16, 16, 0.2, seed=1)).as_row()
+        assert set(row) == {"rows", "cols", "nnz", "AvgL", "type"}

@@ -1,0 +1,127 @@
+"""Unit tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.random import (
+    banded_matrix,
+    block_community_graph,
+    erdos_renyi,
+    kronecker_graph,
+    powerlaw_graph,
+    road_network,
+)
+from repro.sparse.stats import matrix_stats
+
+
+class TestErdosRenyi:
+    def test_mean_degree_close(self):
+        csr = coo_to_csr(erdos_renyi(2000, avg_degree=6.0, seed=0))
+        assert 4.5 <= matrix_stats(csr).avg_l <= 6.5
+
+    def test_deterministic(self):
+        a = erdos_renyi(100, 4.0, seed=42)
+        b = erdos_renyi(100, 4.0, seed=42)
+        np.testing.assert_array_equal(a.rows, b.rows)
+        np.testing.assert_array_equal(a.cols, b.cols)
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValidationError):
+            erdos_renyi(10, 0.0)
+        with pytest.raises(ValidationError):
+            erdos_renyi(10, 10.0)
+
+    def test_uniform_values_mode(self):
+        coo = erdos_renyi(100, 4.0, seed=1, values="uniform")
+        assert coo.vals.min() > 0
+        with pytest.raises(ValidationError):
+            erdos_renyi(100, 4.0, values="bogus")
+
+
+class TestPowerlaw:
+    def test_heavy_tail(self):
+        csr = coo_to_csr(powerlaw_graph(2000, avg_degree=12.0, seed=0))
+        lengths = csr.row_lengths()
+        # max degree should far exceed the mean in a power-law graph
+        assert lengths.max() > 5 * lengths.mean()
+
+    def test_mean_degree_within_tolerance(self):
+        csr = coo_to_csr(powerlaw_graph(2000, avg_degree=16.0, seed=1))
+        assert 13.0 <= matrix_stats(csr).avg_l <= 19.0
+
+    def test_community_structure_raises_modularity(self):
+        from repro.graph.adjacency import adjacency_from_csr
+        from repro.graph.modularity import modularity
+        from repro.reorder.louvain import louvain_communities
+
+        flat = coo_to_csr(powerlaw_graph(600, 8.0, seed=2))
+        comm = coo_to_csr(powerlaw_graph(
+            600, 8.0, community_blocks=12, intra_fraction=0.85, seed=2))
+        q_flat = modularity(
+            adjacency_from_csr(flat), louvain_communities(flat, seed=0))
+        q_comm = modularity(
+            adjacency_from_csr(comm), louvain_communities(comm, seed=0))
+        assert q_comm > q_flat + 0.1
+
+    def test_no_self_loop_free_guarantee_but_valid(self):
+        coo = powerlaw_graph(300, 6.0, seed=3)
+        assert coo.nnz > 0
+        assert coo.rows.max() < 300 and coo.cols.max() < 300
+
+
+class TestRoadNetwork:
+    def test_avg_degree_near_road(self):
+        csr = coo_to_csr(road_network(5000, seed=0))
+        avg = matrix_stats(csr).avg_l
+        assert 2.2 <= avg <= 3.4  # roadNet-CA is 2.81
+
+    def test_symmetric(self):
+        coo = road_network(500, seed=1)
+        dense = coo.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_low_max_degree(self):
+        csr = coo_to_csr(road_network(2000, seed=2))
+        assert csr.row_lengths().max() <= 24  # no hubs in road networks
+
+
+class TestBlockCommunity:
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(ValidationError):
+            block_community_graph(10, n_blocks=0, avg_block_degree=2.0)
+        with pytest.raises(ValidationError):
+            block_community_graph(10, n_blocks=11, avg_block_degree=2.0)
+
+    def test_symmetric(self):
+        coo = block_community_graph(200, 8, 3.0, seed=0)
+        dense = coo.to_dense()
+        np.testing.assert_allclose(dense, dense.T)
+
+
+class TestBanded:
+    def test_band_respected(self):
+        coo = banded_matrix(64, bandwidth=3, seed=0)
+        assert (np.abs(coo.rows - coo.cols) <= 3).all()
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValidationError):
+            banded_matrix(10, bandwidth=10)
+
+
+class TestKronecker:
+    def test_size_is_power_of_two(self):
+        coo = kronecker_graph(8, edge_factor=8, seed=0)
+        assert coo.n_rows == 256
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValidationError):
+            kronecker_graph(1)
+        with pytest.raises(ValidationError):
+            kronecker_graph(30)
+
+    def test_skewed_degrees(self):
+        csr = coo_to_csr(kronecker_graph(10, edge_factor=12, seed=1))
+        lengths = csr.row_lengths()
+        assert lengths.max() > 4 * max(1.0, lengths.mean())

@@ -1,0 +1,110 @@
+"""Unit tests for the Matrix Market reader/writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse.io import load_matrix_market, save_matrix_market
+from repro.sparse.coo import COOMatrix
+
+
+GENERAL = """%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 1.5
+2 3 -2.0
+3 4 0.25
+"""
+
+SYMMETRIC = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 1.0
+2 1 2.0
+3 2 3.0
+"""
+
+PATTERN = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+
+
+class TestLoad:
+    def test_general(self):
+        m = load_matrix_market(io.StringIO(GENERAL))
+        assert m.shape == (3, 4)
+        dense = m.to_dense()
+        assert dense[0, 0] == 1.5
+        assert dense[1, 2] == -2.0
+        assert dense[2, 3] == 0.25
+
+    def test_symmetric_mirrors_off_diagonal(self):
+        m = load_matrix_market(io.StringIO(SYMMETRIC))
+        dense = m.to_dense()
+        assert dense[0, 1] == dense[1, 0] == 2.0
+        assert dense[1, 2] == dense[2, 1] == 3.0
+        assert dense[0, 0] == 1.0  # diagonal not duplicated
+        assert m.nnz == 5
+
+    def test_pattern_values_are_one(self):
+        m = load_matrix_market(io.StringIO(PATTERN))
+        assert (m.vals == 1.0).all()
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(FormatError):
+            load_matrix_market(io.StringIO("%%MatrixMarket matrix array real general\n1 1\n1.0\n"))
+
+    def test_rejects_wrong_count(self):
+        text = GENERAL.replace("3 4 3", "3 4 5")
+        with pytest.raises(FormatError):
+            load_matrix_market(io.StringIO(text))
+
+    def test_rejects_missing_value(self):
+        text = """%%MatrixMarket matrix coordinate real general
+2 2 1
+1 1
+"""
+        with pytest.raises(FormatError):
+            load_matrix_market(io.StringIO(text))
+
+    def test_skew_symmetric_sign(self):
+        text = """%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 5.0
+"""
+        m = load_matrix_market(io.StringIO(text))
+        dense = m.to_dense()
+        assert dense[1, 0] == 5.0
+        assert dense[0, 1] == -5.0
+
+
+class TestSaveLoad:
+    def test_roundtrip_real(self, small_csr):
+        from repro.sparse.convert import csr_to_coo, coo_to_csr
+
+        buf = io.StringIO()
+        save_matrix_market(csr_to_coo(small_csr), buf)
+        buf.seek(0)
+        back = coo_to_csr(load_matrix_market(buf))
+        np.testing.assert_array_equal(back.indices, small_csr.indices)
+        np.testing.assert_allclose(back.vals, small_csr.vals, rtol=1e-6)
+
+    def test_roundtrip_pattern(self):
+        coo = COOMatrix(3, 3, [0, 1], [1, 2], [1.0, 1.0])
+        buf = io.StringIO()
+        save_matrix_market(coo, buf, field="pattern")
+        buf.seek(0)
+        back = load_matrix_market(buf)
+        assert back.nnz == 2
+        assert (back.vals == 1.0).all()
+
+    def test_save_to_path(self, tmp_path, small_csr):
+        from repro.sparse.convert import csr_to_coo
+
+        path = tmp_path / "m.mtx"
+        save_matrix_market(csr_to_coo(small_csr), path)
+        back = load_matrix_market(path)
+        assert back.nnz == small_csr.nnz

@@ -1,0 +1,126 @@
+"""Unit + property tests for the RowWindow/TC-block tiling engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.formats.tiling import build_tiling
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+
+from tests.conftest import random_csr
+
+
+def reconstruct_dense(csr, tiling, vals_packed):
+    """Rebuild the dense matrix from tiles (test oracle)."""
+    dense = np.zeros((csr.n_rows, csr.n_cols))
+    block_of_nnz = np.repeat(
+        np.arange(tiling.n_blocks), tiling.nnz_per_block()
+    )
+    rows = (
+        tiling.block_window[block_of_nnz] * tiling.window_rows
+        + tiling.local_rows
+    )
+    cols = tiling.sparse_a_to_b[
+        block_of_nnz * tiling.block_cols + tiling.local_cols
+    ]
+    dense[rows, cols] = vals_packed
+    return dense
+
+
+class TestBuildTiling:
+    def test_window_count(self, small_csr):
+        t = build_tiling(small_csr)
+        assert t.n_windows == -(-small_csr.n_rows // 8)
+        assert t.row_window_offset.shape == (t.n_windows + 1,)
+
+    def test_offsets_consistent(self, small_csr):
+        t = build_tiling(small_csr)
+        assert t.row_window_offset[-1] == t.n_blocks
+        assert t.tc_offset[-1] == small_csr.nnz
+        assert (np.diff(t.row_window_offset) >= 0).all()
+        assert (np.diff(t.tc_offset) > 0).all()  # no empty blocks
+
+    def test_sparse_a_to_b_structure(self, small_csr):
+        t = build_tiling(small_csr)
+        slots = t.sparse_a_to_b.reshape(t.n_blocks, 8)
+        for b in range(t.n_blocks):
+            cols = slots[b]
+            valid = cols[cols >= 0]
+            # condensed columns sorted ascending, padding at the tail
+            assert (np.diff(valid) > 0).all()
+            first_pad = np.argmax(cols < 0) if (cols < 0).any() else 8
+            assert (cols[first_pad:] < 0).all()
+
+    def test_reconstruction_exact(self, small_csr):
+        t = build_tiling(small_csr)
+        dense = reconstruct_dense(small_csr, t, small_csr.vals[t.perm_nnz])
+        np.testing.assert_allclose(dense, small_csr.to_dense(), rtol=1e-6)
+
+    def test_each_nnz_exactly_once(self, small_csr):
+        t = build_tiling(small_csr)
+        assert np.unique(t.perm_nnz).size == small_csr.nnz
+
+    def test_blocks_window_major(self, small_csr):
+        t = build_tiling(small_csr)
+        assert (np.diff(t.block_window) >= 0).all()
+
+    def test_mean_nnz_bounds(self, small_csr):
+        t = build_tiling(small_csr)
+        m = t.mean_nnz_per_block()
+        assert 1.0 <= m <= 64.0
+
+    def test_rejects_bad_geometry(self, small_csr):
+        with pytest.raises(ValidationError):
+            build_tiling(small_csr, window_rows=0)
+        with pytest.raises(ValidationError):
+            build_tiling(small_csr, window_rows=16, block_cols=8)  # >64 cells
+
+    def test_single_dense_window(self):
+        csr = coo_to_csr(COOMatrix.from_dense(np.ones((8, 8), np.float32)))
+        t = build_tiling(csr)
+        assert t.n_blocks == 1
+        assert t.nnz_per_block()[0] == 64
+        assert t.mean_nnz_per_block() == 64.0
+
+    def test_single_element(self):
+        csr = coo_to_csr(COOMatrix(20, 20, [13], [7], [2.5]))
+        t = build_tiling(csr)
+        assert t.n_blocks == 1
+        assert t.block_window[0] == 13 // 8
+        assert t.sparse_a_to_b[0] == 7
+        assert t.local_rows[0] == 13 % 8
+
+    def test_non_multiple_of_8_rows(self):
+        csr = random_csr(13, 21, 0.3, seed=6)
+        t = build_tiling(csr)
+        assert t.n_windows == 2
+        dense = reconstruct_dense(csr, t, csr.vals[t.perm_nnz])
+        np.testing.assert_allclose(dense, csr.to_dense(), rtol=1e-6)
+
+    @given(
+        n_rows=st.integers(min_value=1, max_value=40),
+        n_cols=st.integers(min_value=1, max_value=40),
+        density=st.floats(min_value=0.02, max_value=0.7),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_tiling_is_lossless(self, n_rows, n_cols, density, seed):
+        rng = np.random.default_rng(seed)
+        dense = np.where(
+            rng.random((n_rows, n_cols)) < density,
+            rng.uniform(0.5, 1.5, (n_rows, n_cols)),
+            0.0,
+        ).astype(np.float32)
+        csr = coo_to_csr(COOMatrix.from_dense(dense))
+        if csr.nnz == 0:
+            return
+        t = build_tiling(csr)
+        rebuilt = reconstruct_dense(csr, t, csr.vals[t.perm_nnz])
+        np.testing.assert_allclose(rebuilt, dense, rtol=1e-6)
+        # invariants
+        assert t.tc_offset[-1] == csr.nnz
+        assert (np.diff(t.tc_offset) >= 1).all()
+        assert t.mean_nnz_per_block() <= 64.0

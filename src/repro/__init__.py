@@ -16,14 +16,31 @@ Quick start::
 
     A = repro.load_dataset("DD")                 # Table-2 synthetic twin
     B = np.random.rand(A.n_cols, 128).astype(np.float32)
-    C = repro.spmm(A, B, device="a800")
+    C = repro.spmm(A, B, device="a800")          # plans once, caches
+    C = repro.spmm(A, B * 2)                     # cache hit: no replan
 
     p = repro.plan(A, feature_dim=128, device="a800")
     print(p.stats)                                # ordering/format/schedule
     print(p.profile().summary())                  # simulated GFLOPS etc.
+
+Serving repeated traffic (plan-reuse engine, batched right-hand sides)::
+
+    engine = repro.SpMMEngine(capacity=64)
+    C = engine.spmm(A, B)                         # cold: builds the plan
+    Cs = engine.multiply_many(A, np.stack([B, B]))  # one decompression pass
+    print(engine.stats)                           # hits/misses/evictions
 """
 
-from repro.core import AccConfig, AccPlan, plan, spmm
+from repro.core import AccConfig, AccPlan, plan, spmm, spmm_many
+from repro.serve import (
+    CacheStats,
+    MatrixFingerprint,
+    PlanCache,
+    SpMMEngine,
+    default_engine,
+    fingerprint,
+    reset_default_engine,
+)
 from repro.errors import (
     ConvergenceError,
     FormatError,
@@ -51,6 +68,14 @@ __all__ = [
     "AccPlan",
     "plan",
     "spmm",
+    "spmm_many",
+    "SpMMEngine",
+    "PlanCache",
+    "CacheStats",
+    "MatrixFingerprint",
+    "fingerprint",
+    "default_engine",
+    "reset_default_engine",
     "ReproError",
     "ValidationError",
     "FormatError",

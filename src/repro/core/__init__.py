@@ -17,6 +17,6 @@ Typical use::
 
 from repro.core.config import AccConfig
 from repro.core.planner import AccPlan, plan
-from repro.core.api import spmm
+from repro.core.api import spmm, spmm_many
 
-__all__ = ["AccConfig", "AccPlan", "plan", "spmm"]
+__all__ = ["AccConfig", "AccPlan", "plan", "spmm", "spmm_many"]

@@ -45,6 +45,24 @@ class AccPlan:
             )
         return self.kernel.execute(self.tc_plan, B)
 
+    def multiply_many(self, Bs) -> np.ndarray:
+        """Batched ``C[i] = A @ Bs[i]`` in one pass over the plan.
+
+        ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of
+        equally-shaped ``(n_cols, N)`` matrices.  The tiled A
+        representation is decompressed once and shared across the batch;
+        each slice of the result is bit-for-bit identical to
+        ``multiply(Bs[i])``.
+        """
+        if not isinstance(Bs, np.ndarray):
+            Bs = np.stack([np.asarray(b, dtype=np.float32) for b in Bs])
+        Bs = np.ascontiguousarray(Bs, dtype=np.float32)
+        if Bs.ndim != 3 or Bs.shape[1] != self.csr.n_cols:
+            raise ValidationError(
+                f"Bs must be (batch, {self.csr.n_cols}, N); got {Bs.shape}"
+            )
+        return self.kernel.execute(self.tc_plan, Bs)
+
     def profile(self, feature_dim: int | None = None) -> KernelProfile:
         """Simulated launch profile on the plan's device."""
         n = feature_dim or self.feature_dim
@@ -72,6 +90,11 @@ def plan(
     config: AccConfig | None = None,
 ) -> AccPlan:
     """Build an :class:`AccPlan` (reorder, BitTCF conversion, TB schedule)."""
+    if csr.n_rows == 0 or csr.n_cols == 0:
+        raise ValidationError(
+            f"cannot plan a zero-dimension matrix (shape {csr.shape}); "
+            "A @ B is trivially empty — compute it without a plan"
+        )
     cfg = config or AccConfig.paper_default()
     spec = get_device(device)
     kernel = AccSpMMKernel(

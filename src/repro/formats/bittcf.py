@@ -26,6 +26,7 @@ from repro.errors import FormatError
 from repro.formats.tiling import RowWindowTiling, build_tiling
 from repro.sparse.csr import CSRMatrix
 from repro.util.bitops import expand_bitmask, masks_from_block_positions, popcount64
+from repro.util.ragged import ragged_gather_indices as _ragged_gather_indices
 
 
 @dataclass(frozen=True)
@@ -128,14 +129,3 @@ class BitTCF:
         return CSRMatrix(
             t.n_rows, t.n_cols, indptr, cols[order], self.vals[order]
         )
-
-
-def _ragged_gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Flat indices for gathering ragged slices ``[s, s+c)`` back to back."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    offsets = np.zeros(counts.size, dtype=np.int64)
-    np.cumsum(counts[:-1], out=offsets[1:])
-    pos = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
-    return np.repeat(starts, counts) + pos

@@ -1,0 +1,28 @@
+"""Plan-reuse serving layer: fingerprints, the LRU plan cache, and the
+:class:`SpMMEngine` front-end for repeated SpMM traffic.
+
+Typical use::
+
+    import numpy as np
+    from repro.serve import SpMMEngine
+
+    engine = SpMMEngine(capacity=64, device="a800")
+    C = engine.spmm(A, B)                  # cold: plans once
+    C = engine.spmm(A, B2)                 # warm: cache hit
+    Cs = engine.multiply_many(A, Bs)       # batched (batch, K, N) pass
+    print(engine.stats)                    # hits/misses/evictions/...
+"""
+
+from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.engine import SpMMEngine, default_engine, reset_default_engine
+from repro.serve.fingerprint import MatrixFingerprint, fingerprint
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "SpMMEngine",
+    "default_engine",
+    "reset_default_engine",
+    "MatrixFingerprint",
+    "fingerprint",
+]

@@ -1,0 +1,136 @@
+"""LRU plan cache with hit/miss/eviction accounting.
+
+A plan is the expensive artifact of the Acc-SpMM pipeline (reorder →
+BitTCF → schedule); the paper's overhead argument ("for iterative
+applications, the overhead of this conversion is minimal") only holds if
+repeated traffic actually reuses it.  :class:`PlanCache` is that reuse
+point: a bounded, content-keyed LRU mapping
+``(matrix fingerprint, device, config)`` to built plans.
+
+The cache also maintains a structural index so that a *value-only* change
+(same sparsity pattern, new weights — a training loop updating edge
+weights, a solver refreshing coefficients) can be served by repacking the
+values through the cached structural plan instead of replanning from
+scratch; those repacks are counted separately in the stats.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`PlanCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: misses served by repacking values into a cached structural plan
+    value_refreshes: int = 0
+    #: full plan builds (reorder + tiling + schedule from scratch)
+    plans_built: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "value_refreshes": self.value_refreshes,
+            "plans_built": self.plans_built,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class PlanCache:
+    """Bounded LRU cache of built plans, keyed by content.
+
+    ``capacity`` bounds the number of cached plans; inserting beyond it
+    evicts the least-recently-used entry.  Keys are opaque hashable
+    tuples (the engine builds them from
+    :class:`~repro.serve.fingerprint.MatrixFingerprint` plus device and
+    config); values are whatever plan object the caller stores.
+    """
+
+    capacity: int = 32
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    #: structural key -> most recent full key with that structure
+    _by_structure: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple) -> object | None:
+        """Cached plan for ``key``, counting a hit/miss and refreshing LRU."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, key: tuple) -> object | None:
+        """Cached plan for ``key`` without touching LRU order or stats.
+
+        Used for the re-check after a plan build finished on another
+        thread — that request's outcome was already counted."""
+        return self._entries.get(key)
+
+    def peek_structural(self, structural_key: tuple) -> object | None:
+        """A cached plan sharing the structure, if any (no hit counted).
+
+        Used by the engine to serve value-only changes via repack; does
+        not disturb LRU order or the hit/miss counters — the lookup that
+        led here was already counted as a miss.
+        """
+        full_key = self._by_structure.get(structural_key)
+        if full_key is None:
+            return None
+        return self._entries.get(full_key)
+
+    def put(self, key: tuple, plan: object, structural_key: tuple | None = None) -> None:
+        """Insert (or refresh) an entry, evicting LRU beyond capacity."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = plan
+        if structural_key is not None:
+            self._by_structure[structural_key] = key
+        while len(self._entries) > self.capacity:
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.stats.evictions += 1
+            # drop dangling structural pointers to the evicted entry
+            stale = [
+                s for s, f in self._by_structure.items() if f == evicted_key
+            ]
+            for s in stale:
+                del self._by_structure[s]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def clear(self) -> None:
+        """Drop all entries (stats are kept; reset via ``reset_stats``)."""
+        self._entries.clear()
+        self._by_structure.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()

@@ -1,0 +1,227 @@
+"""The plan-reuse serving engine.
+
+:class:`SpMMEngine` fronts repeated ``C = A @ B`` traffic the way a
+production service would: every request is keyed by the *content* of its
+sparse operand, plans are built once and reused from an LRU
+:class:`~repro.serve.cache.PlanCache`, value-only matrix updates are
+served by repacking values into the cached structural plan, and batched
+right-hand sides run through the single-decompression multi-B path of
+:func:`repro.kernels.tc_common.execute_tiled`.
+
+One engine serves many matrices, devices and configs concurrently — the
+cache key is ``(fingerprint, device, config)``.  Plans are reused across
+feature dimensions: the numeric result of
+:meth:`~repro.core.planner.AccPlan.multiply` does not depend on the
+``feature_dim`` the plan was built with (only simulated profiles do).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import replace as dc_replace
+
+import numpy as np
+
+from repro.core.config import AccConfig
+from repro.core.planner import AccPlan, plan as build_plan
+from repro.errors import ValidationError
+from repro.gpusim.specs import DeviceSpec, get_device
+from repro.serve.cache import PlanCache
+from repro.serve.fingerprint import fingerprint
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.util.timing import Timer
+
+
+class SpMMEngine:
+    """Serve repeated SpMM traffic through a content-addressed plan cache.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached plans (LRU eviction beyond it).
+    device, config:
+        Defaults applied when a request does not name its own.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 32,
+        device: DeviceSpec | str = "a800",
+        config: AccConfig | None = None,
+    ) -> None:
+        self.cache = PlanCache(capacity=capacity)
+        self.default_device = get_device(device)
+        self.default_config = config or AccConfig.paper_default()
+        self._lock = threading.Lock()
+        #: per-key locks so a slow plan build only blocks same-key requests
+        self._build_locks: dict = {}
+
+    # ------------------------------------------------------------------
+    def get_plan(
+        self,
+        A: CSRMatrix | COOMatrix,
+        feature_dim: int = 128,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ) -> AccPlan:
+        """The cached plan for ``A`` on ``device``/``config`` — built,
+        value-refreshed, or served straight from the cache."""
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        spec = get_device(device) if device is not None else self.default_device
+        cfg = config or self.default_config
+        fp = fingerprint(csr)
+        key = (fp.full, spec.name, cfg)
+        structural_key = (fp.structural, spec.name, cfg)
+        with self._lock:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        # build outside the engine lock: a slow plan build must not stall
+        # cache hits on other matrices; same-key requests queue here
+        with build_lock:
+            try:
+                with self._lock:
+                    cached = self.cache.peek(key)  # built while we waited?
+                    if cached is not None:
+                        return cached
+                    base = self.cache.peek_structural(structural_key)
+                if base is not None:
+                    p = self._refresh_values(base, csr)
+                else:
+                    p = build_plan(
+                        csr, feature_dim=feature_dim, device=spec, config=cfg
+                    )
+                with self._lock:
+                    if base is not None:
+                        self.cache.stats.value_refreshes += 1
+                    else:
+                        self.cache.stats.plans_built += 1
+                    self.cache.put(key, p, structural_key=structural_key)
+                return p
+            finally:
+                with self._lock:
+                    self._build_locks.pop(key, None)
+
+    @staticmethod
+    def _refresh_values(base: AccPlan, csr: CSRMatrix) -> AccPlan:
+        """New plan for a value-only change: repack values through the
+        cached structural plan (reorder/tiling/schedule are reused)."""
+        tc = base.tc_plan
+        timer = Timer()
+        with timer:
+            same_layout = tc.reorder.row_perm.is_identity()
+            csr_r = csr if same_layout else tc.reorder.apply(csr)
+            vals_packed = csr_r.vals[tc.tiling.perm_nnz]
+            new_tc = dc_replace(
+                tc, csr_reordered=csr_r, vals_packed=vals_packed
+            )
+        return AccPlan(
+            csr=csr,
+            config=base.config,
+            device=base.device,
+            feature_dim=base.feature_dim,
+            tc_plan=new_tc,
+            build_seconds=timer.elapsed,
+            kernel=base.kernel,
+        )
+
+    # ------------------------------------------------------------------
+    def spmm(
+        self,
+        A: CSRMatrix | COOMatrix,
+        B: np.ndarray,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ) -> np.ndarray:
+        """``C = A @ B`` through the plan cache.
+
+        Zero-dimension operands (e.g. an empty mini-batch selection) are
+        answered directly — their product is trivially empty and the
+        planner cannot tile them."""
+        B = np.asarray(B)  # dtype coercion is AccPlan.multiply's job
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            if B.ndim != 2 or B.shape[0] != csr.n_cols:
+                raise ValidationError(
+                    f"B must be ({csr.n_cols}, N); got {B.shape}"
+                )
+            return np.zeros((csr.n_rows, B.shape[1]), dtype=np.float32)
+        p = self.get_plan(csr, feature_dim=B.shape[-1], device=device, config=config)
+        return p.multiply(B)
+
+    def multiply_many(
+        self,
+        A: CSRMatrix | COOMatrix,
+        Bs,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ) -> np.ndarray:
+        """Batched ``C[i] = A @ Bs[i]`` through the plan cache.
+
+        ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of 2-D
+        matrices; the cached plan's tiles are decompressed once for the
+        whole batch.
+        """
+        if not isinstance(Bs, np.ndarray):
+            Bs = np.stack([np.asarray(b) for b in Bs])
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            if Bs.ndim != 3 or Bs.shape[1] != csr.n_cols:
+                raise ValidationError(
+                    f"Bs must be (batch, {csr.n_cols}, N); got {Bs.shape}"
+                )
+            return np.zeros(
+                (Bs.shape[0], csr.n_rows, Bs.shape[2]), dtype=np.float32
+            )
+        p = self.get_plan(csr, feature_dim=Bs.shape[-1], device=device, config=config)
+        return p.multiply_many(Bs)
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Cache counters plus occupancy, for dashboards and tests."""
+        return {
+            **self.cache.stats.as_dict(),
+            "cached_plans": len(self.cache),
+            "capacity": self.cache.capacity,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached plan and reset the counters."""
+        with self._lock:
+            self.cache.clear()
+            self.cache.reset_stats()
+            self._build_locks.clear()
+
+
+# ----------------------------------------------------------------------
+# process-wide default engine (what `repro.spmm` routes through)
+# ----------------------------------------------------------------------
+_default_engine: SpMMEngine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> SpMMEngine:
+    """The lazily-created process-wide engine behind :func:`repro.spmm`.
+
+    Deliberately small: each cached plan pins the matrix, its reordered
+    copy and the tiling (~3x the matrix footprint), and this cache is
+    filled implicitly by ``repro.spmm``.  Traffic that wants a bigger
+    working set should build its own :class:`SpMMEngine`; one-off
+    multiplications should pass ``use_cache=False``.
+    """
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = SpMMEngine(capacity=8)
+        return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Discard the process-wide engine (tests; freeing cached plans)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = None

@@ -1,0 +1,63 @@
+"""Content-addressed fingerprints of sparse matrices.
+
+The serving layer keys cached plans by *content*, not identity: two
+``CSRMatrix`` objects holding the same arrays (e.g. rebuilt from the same
+file on different requests) must map to the same plan.  The fingerprint
+separates the **structure** (shape + indptr + indices — everything the
+reordering, tiling and schedule depend on) from the **values**, because a
+value-only change invalidates only the packed value array, not the
+expensive structural plan.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.sparse.csr import CSRMatrix
+
+
+def _digest(*chunks: bytes) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class MatrixFingerprint:
+    """Identity of a CSR matrix for plan-cache lookup.
+
+    ``structure`` hashes shape, ``indptr`` and ``indices``;
+    ``values`` hashes the value array alone.  Two matrices with equal
+    ``structure`` can share every structural plan artifact (reordering,
+    tiling, TB schedule) and differ only in the packed values.
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    structure: str
+    values: str
+
+    @property
+    def full(self) -> tuple:
+        """Hashable key identifying structure *and* values."""
+        return (self.n_rows, self.n_cols, self.nnz, self.structure, self.values)
+
+    @property
+    def structural(self) -> tuple:
+        """Hashable key identifying the structure only."""
+        return (self.n_rows, self.n_cols, self.nnz, self.structure)
+
+
+def fingerprint(csr: CSRMatrix) -> MatrixFingerprint:
+    """Fingerprint a CSR matrix by content (one pass over its arrays)."""
+    shape_tag = f"{csr.n_rows}x{csr.n_cols}".encode()
+    return MatrixFingerprint(
+        n_rows=csr.n_rows,
+        n_cols=csr.n_cols,
+        nnz=csr.nnz,
+        structure=_digest(shape_tag, csr.indptr.tobytes(), csr.indices.tobytes()),
+        values=_digest(csr.vals.tobytes()),
+    )

@@ -46,8 +46,8 @@ class COOMatrix:
             raise ValidationError(
                 "rows, cols, vals must be 1-D arrays of identical length"
             )
-        if self.n_rows <= 0 or self.n_cols <= 0:
-            raise ValidationError("matrix dimensions must be positive")
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValidationError("matrix dimensions must be non-negative")
         if rows.size:
             if rows.min() < 0 or rows.max() >= self.n_rows:
                 raise ValidationError("row index out of range")
@@ -132,9 +132,11 @@ class COOMatrix:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cells = self.n_rows * self.n_cols
+        density = self.nnz / cells if cells else 0.0
         return (
             f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
-            f"density={self.nnz / (self.n_rows * self.n_cols):.2e})"
+            f"density={density:.2e})"
         )
 
 

@@ -27,6 +27,9 @@ class CSRMatrix:
         ``int64`` column indices, sorted within each row.
     vals:
         ``float32`` values aligned with ``indices``.
+
+    Zero-dimension matrices (0 rows and/or 0 columns) are legal — an empty
+    row/column selection produces one — and necessarily hold no entries.
     """
 
     n_rows: int
@@ -39,8 +42,8 @@ class CSRMatrix:
         indptr = np.ascontiguousarray(self.indptr, dtype=np.int64)
         indices = np.ascontiguousarray(self.indices, dtype=np.int64)
         vals = np.ascontiguousarray(self.vals, dtype=np.float32)
-        if self.n_rows <= 0 or self.n_cols <= 0:
-            raise ValidationError("matrix dimensions must be positive")
+        if self.n_rows < 0 or self.n_cols < 0:
+            raise ValidationError("matrix dimensions must be non-negative")
         if indptr.shape != (self.n_rows + 1,):
             raise ValidationError(
                 f"indptr must have length n_rows+1={self.n_rows + 1}, "

@@ -13,6 +13,7 @@ from repro.errors import ValidationError
 from repro.sparse.convert import coo_to_csr, csr_to_coo
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.util.ragged import ragged_gather_indices
 
 
 def transpose(csr: CSRMatrix) -> CSRMatrix:
@@ -21,26 +22,28 @@ def transpose(csr: CSRMatrix) -> CSRMatrix:
 
 
 def take_rows(csr: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
-    """Submatrix of the selected rows (kept in the given order)."""
+    """Submatrix of the selected rows (kept in the given order).
+
+    An empty selection yields a ``(0, n_cols)`` matrix.  One ragged gather
+    over the selected nnz replaces the per-row Python loop.
+    """
     rows = np.asarray(rows, dtype=np.int64)
     if rows.size and (rows.min() < 0 or rows.max() >= csr.n_rows):
         raise ValidationError("row selection out of range")
     lengths = csr.row_lengths()[rows]
     indptr = np.zeros(rows.size + 1, dtype=np.int64)
     np.cumsum(lengths, out=indptr[1:])
-    total = int(indptr[-1])
-    indices = np.empty(total, dtype=np.int64)
-    vals = np.empty(total, dtype=np.float32)
-    for out_i, r in enumerate(rows):
-        lo, hi = csr.indptr[r], csr.indptr[r + 1]
-        o0 = indptr[out_i]
-        indices[o0 : o0 + hi - lo] = csr.indices[lo:hi]
-        vals[o0 : o0 + hi - lo] = csr.vals[lo:hi]
-    return CSRMatrix(max(1, rows.size), csr.n_cols, indptr, indices, vals)
+    src = ragged_gather_indices(csr.indptr[rows], lengths)
+    return CSRMatrix(
+        rows.size, csr.n_cols, indptr, csr.indices[src], csr.vals[src]
+    )
 
 
 def take_cols(csr: CSRMatrix, cols: np.ndarray) -> CSRMatrix:
-    """Submatrix of the selected columns (renumbered 0..k-1)."""
+    """Submatrix of the selected columns (renumbered 0..k-1).
+
+    An empty selection yields an ``(n_rows, 0)`` matrix.
+    """
     cols = np.asarray(cols, dtype=np.int64)
     if cols.size and (cols.min() < 0 or cols.max() >= csr.n_cols):
         raise ValidationError("column selection out of range")
@@ -51,7 +54,7 @@ def take_cols(csr: CSRMatrix, cols: np.ndarray) -> CSRMatrix:
     return coo_to_csr(
         COOMatrix(
             csr.n_rows,
-            max(1, cols.size),
+            cols.size,
             rows[keep],
             remap[csr.indices[keep]],
             csr.vals[keep],
@@ -121,8 +124,14 @@ def with_self_loops(csr: CSRMatrix, weight: float = 1.0) -> CSRMatrix:
 
 
 def gcn_normalize(csr: CSRMatrix) -> CSRMatrix:
-    """Symmetric GCN normalisation D^-1/2 (A + I) D^-1/2."""
+    """Symmetric GCN normalisation D^-1/2 (A + I) D^-1/2.
+
+    The degree is the *weighted* row sum of A + I, not the stored-entry
+    count — for a 0/1 adjacency the two coincide, but weighted graphs need
+    the value sums.  Rows whose weighted degree is non-positive are left
+    unscaled (factor 0 would erase the self loop).
+    """
     a_hat = with_self_loops(csr)
-    deg = np.asarray(a_hat.row_lengths(), dtype=np.float64)
-    d = 1.0 / np.sqrt(np.maximum(deg, 1.0))
+    deg = a_hat.matvec(np.ones(a_hat.n_cols, dtype=np.float64))
+    d = np.where(deg > 0.0, 1.0 / np.sqrt(np.maximum(deg, 1e-300)), 1.0)
     return scale_cols(scale_rows(a_hat, d), d)

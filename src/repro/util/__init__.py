@@ -7,6 +7,7 @@ from repro.util.bitops import (
     popcount64,
     prefix_popcount,
 )
+from repro.util.ragged import ragged_gather_indices
 from repro.util.rng import rng_from_seed, spawn_rngs
 from repro.util.timing import Timer, format_seconds
 from repro.util.validation import (
@@ -22,6 +23,7 @@ __all__ = [
     "mask_from_positions",
     "popcount64",
     "prefix_popcount",
+    "ragged_gather_indices",
     "rng_from_seed",
     "spawn_rngs",
     "Timer",

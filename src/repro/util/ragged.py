@@ -1,0 +1,28 @@
+"""Ragged-slice gathers: vectorised concatenation of ``[s, s+c)`` windows.
+
+Both the BitTCF block decompressor and the CSR row-slicing ops need the
+same primitive — gather many variable-length slices of a flat array back
+to back without a Python loop — so it lives here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ragged_gather_indices(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat indices for gathering ragged slices ``[s, s+c)`` back to back.
+
+    ``out[k]`` enumerates ``starts[0] .. starts[0]+counts[0]-1``, then
+    ``starts[1] .. starts[1]+counts[1]-1``, and so on; ``src[out]`` is the
+    concatenation of the slices.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.zeros(counts.size, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    pos = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    return np.repeat(starts, counts) + pos

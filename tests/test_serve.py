@@ -1,0 +1,286 @@
+"""Tests for the plan-reuse serving layer (fingerprint, cache, engine)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import plan
+from repro.errors import ValidationError
+from repro.serve import (
+    PlanCache,
+    SpMMEngine,
+    default_engine,
+    fingerprint,
+    reset_default_engine,
+)
+from repro.sparse.convert import csr_to_coo
+from repro.sparse.csr import CSRMatrix
+
+from tests.conftest import random_csr
+
+
+def rebuilt(csr: CSRMatrix) -> CSRMatrix:
+    """A distinct object holding identical content (fresh arrays)."""
+    return CSRMatrix(
+        csr.n_rows,
+        csr.n_cols,
+        csr.indptr.copy(),
+        csr.indices.copy(),
+        csr.vals.copy(),
+    )
+
+
+def with_values(csr: CSRMatrix, vals: np.ndarray) -> CSRMatrix:
+    return CSRMatrix(csr.n_rows, csr.n_cols, csr.indptr, csr.indices, vals)
+
+
+class TestFingerprint:
+    def test_content_addressed(self):
+        a = random_csr(64, 48, 0.1, seed=1)
+        assert fingerprint(a) == fingerprint(rebuilt(a))
+
+    def test_value_change_keeps_structure(self):
+        a = random_csr(64, 48, 0.1, seed=1)
+        b = with_values(a, a.vals * 2.0)
+        fa, fb = fingerprint(a), fingerprint(b)
+        assert fa.structural == fb.structural
+        assert fa.full != fb.full
+
+    def test_structure_change_differs(self):
+        fa = fingerprint(random_csr(64, 48, 0.1, seed=1))
+        fb = fingerprint(random_csr(64, 48, 0.1, seed=2))
+        assert fa.structural != fb.structural
+
+    def test_shape_in_key(self):
+        # same (empty) arrays, different declared shape
+        empty = np.zeros(0, dtype=np.int64)
+        a = CSRMatrix(2, 8, np.zeros(3, np.int64), empty, np.zeros(0, np.float32))
+        b = CSRMatrix(2, 9, np.zeros(3, np.int64), empty, np.zeros(0, np.float32))
+        assert fingerprint(a).structural != fingerprint(b).structural
+
+
+class TestPlanCache:
+    def test_hit_miss_counters(self):
+        c = PlanCache(capacity=4)
+        assert c.get(("k",)) is None
+        c.put(("k",), "plan")
+        assert c.get(("k",)) == "plan"
+        assert c.stats.misses == 1 and c.stats.hits == 1
+        assert c.stats.requests == 2 and c.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        c = PlanCache(capacity=2)
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        c.get(("a",))  # refresh a; b is now LRU
+        c.put(("c",), 3)
+        assert ("b",) not in c and ("a",) in c and ("c",) in c
+        assert c.stats.evictions == 1
+
+    def test_structural_index_follows_eviction(self):
+        c = PlanCache(capacity=1)
+        c.put(("a", "v1"), 1, structural_key=("a",))
+        c.put(("b", "v1"), 2, structural_key=("b",))
+        assert c.peek_structural(("a",)) is None
+        assert c.peek_structural(("b",)) == 2
+
+    def test_peek_does_not_count(self):
+        c = PlanCache(capacity=2)
+        c.put(("a", "v1"), 1, structural_key=("a",))
+        c.peek_structural(("a",))
+        assert c.stats.hits == 0 and c.stats.misses == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+    def test_clear_and_reset(self):
+        c = PlanCache(capacity=2)
+        c.put(("a",), 1)
+        c.get(("a",))
+        c.clear()
+        assert len(c) == 0 and c.stats.hits == 1
+        c.reset_stats()
+        assert c.stats.requests == 0
+
+
+class TestEngine:
+    @pytest.fixture()
+    def csr(self):
+        return random_csr(96, 80, 0.12, seed=21)
+
+    @pytest.fixture()
+    def B(self):
+        rng = np.random.default_rng(7)
+        return rng.uniform(-1.0, 1.0, (80, 16)).astype(np.float32)
+
+    def test_plans_exactly_once(self, csr, B):
+        eng = SpMMEngine()
+        C0 = eng.spmm(csr, B)
+        for _ in range(4):
+            # fresh objects with identical content must still hit
+            assert np.array_equal(eng.spmm(rebuilt(csr), B), C0)
+        s = eng.stats
+        assert s["plans_built"] == 1
+        assert s["hits"] == 4 and s["misses"] == 1
+
+    def test_matches_uncached_path(self, csr, B):
+        eng = SpMMEngine()
+        assert np.array_equal(
+            eng.spmm(csr, B), repro.spmm(csr, B, use_cache=False)
+        )
+
+    def test_value_only_change_repacks(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B)
+        csr2 = with_values(csr, (csr.vals * 3.0).astype(np.float32))
+        C = eng.spmm(csr2, B)
+        s = eng.stats
+        assert s["plans_built"] == 1 and s["value_refreshes"] == 1
+        # repacked plan must equal a from-scratch plan bit-for-bit
+        assert np.array_equal(C, plan(csr2, feature_dim=16).multiply(B))
+        # and hit the cache afterwards
+        eng.spmm(csr2, B)
+        assert eng.stats["hits"] == 1
+
+    def test_structure_change_rebuilds(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B)
+        eng.spmm(random_csr(96, 80, 0.12, seed=22), B)
+        s = eng.stats
+        assert s["plans_built"] == 2 and s["value_refreshes"] == 0
+
+    def test_lru_eviction(self, B):
+        eng = SpMMEngine(capacity=2)
+        mats = [random_csr(96, 80, 0.12, seed=30 + i) for i in range(3)]
+        for m in mats:
+            eng.spmm(m, B)
+        assert eng.stats["evictions"] == 1
+        eng.spmm(mats[0], B)  # evicted: replanned
+        assert eng.stats["plans_built"] == 4
+
+    def test_reuse_across_feature_dims(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B)
+        eng.spmm(csr, np.hstack([B, B]))  # N=32: numerics are N-agnostic
+        assert eng.stats["plans_built"] == 1 and eng.stats["hits"] == 1
+
+    def test_separate_keys_per_config_and_device(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B, device="a800")
+        eng.spmm(csr, B, device="h100")
+        eng.spmm(csr, B, config=repro.AccConfig.baseline())
+        assert eng.stats["plans_built"] == 3
+
+    def test_accepts_coo(self, csr, B):
+        eng = SpMMEngine()
+        C = eng.spmm(csr_to_coo(csr), B)
+        assert np.array_equal(C, eng.spmm(csr, B))
+        assert eng.stats["plans_built"] == 1
+
+    def test_clear(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B)
+        eng.clear()
+        assert eng.stats["cached_plans"] == 0 and eng.stats["requests"] == 0
+
+    def test_zero_dim_served_without_planning(self):
+        from repro.sparse.ops import take_rows
+
+        full = random_csr(32, 24, 0.2, seed=61)
+        empty = take_rows(full, np.array([], dtype=np.int64))
+        eng = SpMMEngine()
+        C = eng.spmm(empty, np.ones((24, 8), dtype=np.float32))
+        assert C.shape == (0, 8)
+        Cs = eng.multiply_many(empty, np.ones((3, 24, 8), dtype=np.float32))
+        assert Cs.shape == (3, 0, 8)
+        assert eng.stats["plans_built"] == 0
+        # plan() itself names the problem instead of crashing downstream
+        with pytest.raises(ValidationError, match="zero-dimension"):
+            plan(empty, feature_dim=8)
+        # the uncached convenience path answers too
+        assert repro.spmm(empty, np.ones((24, 8), np.float32),
+                          use_cache=False).shape == (0, 8)
+
+    def test_failed_build_releases_build_lock(self, csr, B):
+        eng = SpMMEngine()
+        with pytest.raises(ValidationError):
+            eng.spmm(csr, B[:-1])  # fails inside multiply, after planning
+        bad = random_csr(96, 80, 0.12, seed=62)
+        import unittest.mock as mock
+
+        with mock.patch(
+            "repro.serve.engine.build_plan", side_effect=RuntimeError("boom")
+        ):
+            with pytest.raises(RuntimeError):
+                eng.spmm(bad, B)
+        assert not eng._build_locks, "failed build leaked its per-key lock"
+        # and the key is still buildable afterwards
+        assert eng.spmm(bad, B).shape == (96, 16)
+
+
+class TestMultiplyMany:
+    @pytest.fixture()
+    def setup(self):
+        csr = random_csr(100, 64, 0.1, seed=41)
+        rng = np.random.default_rng(13)
+        Bs = rng.uniform(-1.0, 1.0, (4, 64, 16)).astype(np.float32)
+        return csr, Bs
+
+    def test_bit_for_bit_vs_looped(self, setup):
+        csr, Bs = setup
+        p = plan(csr, feature_dim=16)
+        batched = p.multiply_many(Bs)
+        assert batched.shape == (4, 100, 16)
+        for i in range(Bs.shape[0]):
+            assert np.array_equal(batched[i], p.multiply(Bs[i]))
+
+    def test_engine_batched(self, setup):
+        csr, Bs = setup
+        eng = SpMMEngine()
+        batched = eng.multiply_many(csr, Bs)
+        for i in range(Bs.shape[0]):
+            assert np.array_equal(batched[i], eng.spmm(csr, Bs[i]))
+        assert eng.stats["plans_built"] == 1
+
+    def test_accepts_sequence_of_2d(self, setup):
+        csr, Bs = setup
+        p = plan(csr, feature_dim=16)
+        assert np.array_equal(p.multiply_many(list(Bs)), p.multiply_many(Bs))
+
+    def test_bad_shapes_rejected(self, setup):
+        csr, Bs = setup
+        p = plan(csr, feature_dim=16)
+        with pytest.raises(ValidationError):
+            p.multiply_many(Bs[:, :-1])
+        with pytest.raises(ValidationError):
+            p.multiply_many(Bs[0])
+
+
+class TestDefaultEngineRouting:
+    @pytest.fixture(autouse=True)
+    def fresh_default(self):
+        reset_default_engine()
+        yield
+        reset_default_engine()
+
+    def test_spmm_routes_through_default_engine(self):
+        csr = random_csr(64, 64, 0.1, seed=51)
+        B = np.ones((64, 8), dtype=np.float32)
+        repro.spmm(csr, B)
+        repro.spmm(csr, B)
+        assert default_engine().stats["plans_built"] == 1
+        assert default_engine().stats["hits"] == 1
+
+    def test_opt_out_bypasses_cache(self):
+        csr = random_csr(64, 64, 0.1, seed=52)
+        B = np.ones((64, 8), dtype=np.float32)
+        repro.spmm(csr, B, use_cache=False)
+        assert default_engine().stats["requests"] == 0
+
+    def test_spmm_many_routes_through_default_engine(self):
+        csr = random_csr(64, 64, 0.1, seed=53)
+        Bs = np.ones((2, 64, 8), dtype=np.float32)
+        Cs = repro.spmm_many(csr, Bs)
+        assert Cs.shape == (2, 64, 8)
+        assert default_engine().stats["plans_built"] == 1

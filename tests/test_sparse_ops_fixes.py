@@ -1,0 +1,114 @@
+"""Regression tests: empty selections, weighted GCN degrees, ragged gather."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import gcn_normalize, take_cols, take_rows
+from repro.util.ragged import ragged_gather_indices
+
+from tests.conftest import random_csr
+
+
+class TestEmptySelections:
+    def test_take_rows_empty_selection(self):
+        csr = random_csr(32, 20, 0.2, seed=1)
+        sub = take_rows(csr, np.array([], dtype=np.int64))
+        assert sub.shape == (0, 20)
+        assert sub.nnz == 0
+        assert sub.indptr.tolist() == [0]
+
+    def test_take_cols_empty_selection(self):
+        csr = random_csr(32, 20, 0.2, seed=1)
+        sub = take_cols(csr, np.array([], dtype=np.int64))
+        assert sub.shape == (32, 0)
+        assert sub.nnz == 0
+
+    def test_zero_dim_containers_legal(self):
+        empty64 = np.zeros(0, dtype=np.int64)
+        empty32 = np.zeros(0, dtype=np.float32)
+        c = CSRMatrix(0, 5, np.zeros(1, np.int64), empty64, empty32)
+        assert c.shape == (0, 5) and c.nnz == 0
+        coo = COOMatrix(4, 0, empty64, empty64, empty32)
+        assert coo.shape == (4, 0)
+
+    def test_negative_dims_still_rejected(self):
+        with pytest.raises(ValidationError):
+            CSRMatrix(-1, 5, np.zeros(0, np.int64), np.zeros(0, np.int64),
+                      np.zeros(0, np.float32))
+        with pytest.raises(ValidationError):
+            COOMatrix(4, -2, np.zeros(0, np.int64), np.zeros(0, np.int64),
+                      np.zeros(0, np.float32))
+
+
+class TestTakeRowsVectorised:
+    def test_matches_dense_slice(self):
+        csr = random_csr(40, 30, 0.15, seed=2)
+        rows = np.array([7, 3, 3, 0, 39, 12], dtype=np.int64)
+        sub = take_rows(csr, rows)
+        assert sub.shape == (rows.size, 30)
+        np.testing.assert_array_equal(sub.to_dense(), csr.to_dense()[rows])
+
+    def test_includes_empty_rows(self):
+        # a matrix with guaranteed-empty rows in the selection
+        dense = np.zeros((6, 4), dtype=np.float32)
+        dense[0, 1] = 2.0
+        dense[4, 3] = 5.0
+        csr = COOMatrix.from_dense(dense)
+        from repro.sparse.convert import coo_to_csr
+
+        sub = take_rows(coo_to_csr(csr), np.array([1, 4, 2]))
+        np.testing.assert_array_equal(sub.to_dense(), dense[[1, 4, 2]])
+
+    def test_out_of_range_rejected(self):
+        csr = random_csr(10, 10, 0.2, seed=3)
+        with pytest.raises(ValidationError):
+            take_rows(csr, np.array([10]))
+
+    def test_ragged_gather_indices(self):
+        starts = np.array([5, 0, 9], dtype=np.int64)
+        counts = np.array([2, 0, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            ragged_gather_indices(starts, counts), [5, 6, 9, 10, 11]
+        )
+        assert ragged_gather_indices(starts[:0], counts[:0]).size == 0
+
+
+class TestWeightedGCNNormalize:
+    @staticmethod
+    def reference(dense: np.ndarray) -> np.ndarray:
+        a_hat = dense.astype(np.float64) + np.eye(dense.shape[0])
+        deg = a_hat.sum(axis=1)
+        d = np.where(deg > 0, 1.0 / np.sqrt(np.maximum(deg, 1e-300)), 1.0)
+        return d[:, None] * a_hat * d[None, :]
+
+    def test_weighted_degrees(self):
+        rng = np.random.default_rng(8)
+        dense = np.where(
+            rng.random((24, 24)) < 0.2, rng.uniform(0.5, 4.0, (24, 24)), 0.0
+        ).astype(np.float32)
+        from repro.sparse.convert import coo_to_csr
+
+        csr = coo_to_csr(COOMatrix.from_dense(dense))
+        got = gcn_normalize(csr).to_dense()
+        np.testing.assert_allclose(got, self.reference(dense), rtol=1e-5)
+
+    def test_binary_adjacency_unchanged_semantics(self):
+        # for a 0/1 matrix the weighted row sum equals the stored count
+        csr = random_csr(32, 32, 0.1, seed=9, values="ones")
+        got = gcn_normalize(csr).to_dense()
+        np.testing.assert_allclose(
+            got, self.reference(csr.to_dense().astype(np.float32)), rtol=1e-5
+        )
+
+    def test_diagonal_reflects_weighted_degree(self):
+        # normalised self-loop is 1/deg_i with deg the *weighted* row sum
+        from repro.sparse.ops import diagonal, with_self_loops
+
+        csr = random_csr(48, 48, 0.15, seed=10)
+        a_hat = with_self_loops(csr)
+        deg = a_hat.matvec(np.ones(48))
+        got = diagonal(gcn_normalize(csr))
+        np.testing.assert_allclose(got, diagonal(a_hat) / deg, rtol=1e-5)

@@ -37,13 +37,104 @@ class AccPlan:
 
     # ------------------------------------------------------------------
     def multiply(self, B: np.ndarray) -> np.ndarray:
-        """C = A @ B using the planned representation (TF32 numerics)."""
+        """C = A @ B using the planned representation (TF32 numerics).
+
+        Served by the plan's prepared executor: the first call compiles
+        the B-invariant execution state (decompressed pre-rounded tiles,
+        gather positions, window segmentation) and steady-state calls
+        replay it — see :mod:`repro.kernels.executor`.
+        """
         B = np.ascontiguousarray(B, dtype=np.float32)
         if B.ndim != 2 or B.shape[0] != self.csr.n_cols:
             raise ValidationError(
                 f"B must be ({self.csr.n_cols}, N); got {B.shape}"
             )
         return self.kernel.execute(self.tc_plan, B)
+
+    def prepare(
+        self,
+        feature_dim: int | None = None,
+        mode: str | None = None,
+        max_bytes: int | None = None,
+    ) -> "AccPlan":
+        """Eagerly build the prepared executor (it is otherwise built
+        lazily on the first multiply).
+
+        ``mode`` is ``"exact"`` (bit-for-bit with the reference path;
+        default) or ``"adaptive"`` (dense chunks may fuse RowWindows into
+        single GEMMs, reassociating fp32 accumulation).  ``max_bytes``
+        bounds dense-tile materialisation; over it, the executor falls
+        back to lazy per-chunk decompression.  Returns ``self``.
+        """
+        from repro.kernels.executor import get_executor
+
+        meta = self.tc_plan.meta
+        if mode is not None:
+            if mode not in ("exact", "adaptive"):
+                raise ValidationError(
+                    f"exec mode must be 'exact' or 'adaptive'; got {mode!r}"
+                )
+            if meta.get("exec_mode", "exact") != mode:
+                meta["exec_mode"] = mode
+                self.tc_plan.exec_cache = None  # recompile under new mode
+        if max_bytes is not None and meta.get("exec_max_bytes") != int(max_bytes):
+            meta["exec_max_bytes"] = int(max_bytes)
+            self.tc_plan.exec_cache = None
+        ex = get_executor(self.tc_plan)
+        ex.prepare_for(feature_dim or self.feature_dim)
+        return self
+
+    @property
+    def executor(self):
+        """The prepared executor, or ``None`` before the first multiply."""
+        return self.tc_plan.exec_cache
+
+    def nbytes(self) -> int:
+        """Estimated bytes pinned by this plan (cache byte budgeting).
+
+        Counts the matrix, its reordered copy, the tiling and schedule
+        arrays, the packed values, the permutations, and — once built —
+        the prepared executor's materialised state.  Shared arrays are
+        deduplicated by identity.
+        """
+        seen: set[int] = set()
+        total = 0
+
+        def add(arr) -> None:
+            nonlocal total
+            if isinstance(arr, np.ndarray) and id(arr) not in seen:
+                seen.add(id(arr))
+                total += arr.nbytes
+
+        tc = self.tc_plan
+        for m in (self.csr, tc.csr_reordered):
+            add(m.indptr)
+            add(m.indices)
+            add(m.vals)
+        t = tc.tiling
+        for a in (
+            t.row_window_offset,
+            t.tc_offset,
+            t.sparse_a_to_b,
+            t.local_rows,
+            t.local_cols,
+            t.block_window,
+            t.perm_nnz,
+        ):
+            add(a)
+        add(tc.vals_packed)
+        add(tc.bytes_a_per_block)
+        s = tc.schedule
+        add(s.tb_start)
+        add(s.tb_end)
+        add(s.segments_per_tb)
+        for perm in (tc.reorder.row_perm, tc.reorder.col_perm):
+            if perm is not None:
+                add(perm.order)
+                add(perm.rank)
+        if tc.exec_cache is not None:
+            total += tc.exec_cache.nbytes
+        return total
 
     def multiply_many(self, Bs) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` in one pass over the plan.
@@ -73,14 +164,24 @@ class AccPlan:
 
     @property
     def stats(self) -> dict:
-        """Plan-level facts: ordering, format, schedule, density."""
-        return {
+        """Plan-level facts: ordering, format, schedule, density, and —
+        once the first multiply built it — the prepared executor."""
+        out = {
             "build_seconds": round(self.build_seconds, 4),
             "n_blocks": self.tc_plan.tiling.n_blocks,
             "n_windows": self.tc_plan.tiling.n_windows,
             "mean_nnz_tc": round(self.tc_plan.tiling.mean_nnz_per_block(), 3),
             **self.tc_plan.meta,
         }
+        ex = self.tc_plan.exec_cache
+        if ex is not None:
+            out["executor"] = {
+                "materialized": ex.materialized,
+                "mode": ex.mode,
+                "nbytes": ex.nbytes,
+                **ex.stats.as_dict(),
+            }
+        return out
 
 
 def plan(

@@ -29,15 +29,24 @@ def tf32_round(x: np.ndarray) -> np.ndarray:
     Works on any shape; returns float32 with the low 13 mantissa bits
     cleared after round-to-nearest-even.  NaNs and infinities pass
     through unchanged.
+
+    Idempotent: re-rounding an already-TF32 value is a no-op (the
+    rounding increment cannot carry past the cleared low 13 bits), which
+    is what lets the prepared executor round operands once ahead of time.
     """
     x = np.asarray(x, dtype=np.float32)
-    bits = x.view(np.uint32).copy()
-    finite = np.isfinite(x)
-    lsb = (bits >> np.uint32(13)) & np.uint32(1)
-    rounding = np.uint32(0xFFF) + lsb  # RNE: round half to even
-    bits_rounded = (bits + rounding) & np.uint32(0xFFFFE000)
-    out = np.where(finite, bits_rounded, bits).view(np.float32)
-    return out.reshape(x.shape)
+    if not x.flags.c_contiguous:  # 0-d arrays are contiguous: shape kept
+        x = np.ascontiguousarray(x)
+    bits = x.view(np.uint32)
+    rounding = bits >> np.uint32(13)
+    rounding &= np.uint32(1)  # RNE: round half to even
+    rounding += np.uint32(0xFFF)
+    rounding += bits
+    rounding &= np.uint32(0xFFFFE000)
+    nonfinite = ~np.isfinite(x)
+    if nonfinite.any():
+        rounding[nonfinite] = bits[nonfinite]
+    return rounding.view(np.float32).reshape(x.shape)
 
 
 def tf32_ulp(x: float) -> float:
@@ -74,7 +83,7 @@ def mma_m16n8k8(
 
 
 def batched_tile_mma(
-    b_tiles: np.ndarray, a_tiles: np.ndarray
+    b_tiles: np.ndarray, a_tiles: np.ndarray, assume_rounded: bool = False
 ) -> np.ndarray:
     """Vectorised swapped MMA over many blocks.
 
@@ -84,7 +93,16 @@ def batched_tile_mma(
     (``A_tile @ B_tile`` per block) with TF32 input rounding — numerically
     identical to looping the swapped m16n8k8 over 16-column slabs, since
     both round inputs once and accumulate in fp32.
+
+    ``assume_rounded=True`` skips the input rounding: the caller promises
+    both operands are already TF32 (the prepared executor rounds A tiles
+    at compile time and B once per call).  Because ``tf32_round`` is
+    idempotent, results are bit-for-bit identical to the default path on
+    pre-rounded operands.  Direct callers with raw fp32 operands keep the
+    default, which rounds for them.
     """
+    if assume_rounded:
+        return np.matmul(a_tiles, b_tiles)
     a32 = tf32_round(np.asarray(a_tiles, dtype=np.float32))
     b32 = tf32_round(np.asarray(b_tiles, dtype=np.float32))
     return np.matmul(

@@ -11,6 +11,7 @@ and balancer, the CUDA-core kernels take the matrix as-is.
 """
 
 from repro.kernels.base import KernelResult, SpMMKernel
+from repro.kernels.executor import ExecStats, TCExecPlan, get_executor
 from repro.kernels.reference import ReferenceKernel, reference_spmm
 from repro.kernels.cusparse_like import CuSparseKernel
 from repro.kernels.sputnik_like import SputnikKernel
@@ -32,6 +33,9 @@ KERNELS = {
 __all__ = [
     "SpMMKernel",
     "KernelResult",
+    "TCExecPlan",
+    "ExecStats",
+    "get_executor",
     "ReferenceKernel",
     "reference_spmm",
     "CuSparseKernel",

@@ -112,6 +112,8 @@ class AccSpMMKernel(SpMMKernel):
         )
 
     def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        # served by the plan's prepared executor (built lazily, cached on
+        # the plan) — steady-state calls pay only for B-dependent work
         return execute_tiled(plan, B)
 
     def simulate(

@@ -80,6 +80,7 @@ class DTCKernel(SpMMKernel):
         )
 
     def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        # shares the prepared-executor path with all TC kernels
         return execute_tiled(plan, B)
 
     def simulate(

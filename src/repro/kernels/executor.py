@@ -1,0 +1,619 @@
+"""Prepared executors: the B-invariant half of tiled SpMM, compiled once.
+
+Steady-state serving traffic multiplies one planned sparse matrix against
+a stream of dense right-hand sides.  Everything in that loop that does
+not depend on ``B`` is the same on every call:
+
+* **tile decompression** — scattering ``vals_packed`` into dense
+  ``(k, 8, 8)`` A tiles (and the TF32 rounding of those tiles, which is
+  value- not B-dependent);
+* **gather geometry** — the ``SparseAToB`` positions that pull rows of B
+  into each block's slab, and which slots are padding (zero rows);
+* **window segmentation** — ``np.unique`` over ``block_window`` and the
+  ``reduceat`` segment starts that fold per-block partial products into
+  per-RowWindow accumulators;
+* **the output permutation** — the rank array that undoes row relabeling.
+
+:class:`TCExecPlan` materialises all of that once per
+:class:`~repro.kernels.tc_common.TCPlan` and replays it per call, so the
+steady-state multiply is reduced to: round B once, gather through a
+pooled buffer, batched MMA on pre-rounded tiles, segmented accumulation.
+Results are bit-for-bit identical to the unprepared reference path
+(:func:`~repro.kernels.tc_common.execute_tiled_reference`): TF32 rounding
+is elementwise and idempotent, so rounding B before the gather (instead
+of rounding each gathered slab) and rounding A values before the scatter
+(instead of each decompressed tile) commute exactly, and the per-chunk
+``np.matmul`` / ``np.add.reduceat`` calls see identically shaped,
+identically valued operands.
+
+Materialisation respects a byte budget: when the dense A tiles of a huge
+matrix would exceed ``exec_max_bytes`` the executor keeps precomputed
+flat scatter indices instead and decompresses per chunk on the fly
+(still cheaper than the reference, which also re-derives the indices).
+
+Strategies are chosen per chunk by density:
+
+* ``"direct"`` — every RowWindow in the chunk owns exactly one block;
+  the segmented sum degenerates to an indexed add (bit-for-bit).
+* ``"stepped"`` — the workhorse.  ``np.add.reduceat`` costs ~25 ns per
+  (segment, inner element) pair, which makes the segmented sum the
+  single most expensive stage of the reference path.  Its accumulation
+  order is, per segment, ``a[first] + pairwise_sum(a[first+1:])`` with
+  numpy's pairwise kernel — sequential below 8 elements — so for
+  segments of ≤ 8 blocks (the overwhelming majority under 8-row
+  windows) the identical bits can be produced by a handful of *whole-
+  array* fancy-indexed adds over precomputed step indices.  Longer
+  segments are compacted and handed to ``reduceat`` itself (compaction
+  preserves per-segment bits).  Because this replica depends on an
+  implementation detail of numpy, a one-time runtime probe checks it
+  against ``reduceat``; if numpy ever changes, compilation silently
+  falls back to:
+* ``"reduceat"`` — the reference's own segmented sum (bit-for-bit by
+  construction).
+* ``"fused"`` — high-``MeanNNZTC`` chunks in the opt-in ``"adaptive"``
+  mode run one dense GEMM per RowWindow group (blocks concatenated
+  along K).  This reassociates the fp32 accumulation, so it is *not*
+  bit-for-bit with the reference — it stays within a few ULP and is
+  only used when the caller asks for ``exec_mode="adaptive"``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpusim.tensorcore import batched_tile_mma, tf32_round
+from repro.util.ragged import ragged_gather_indices
+
+#: Dense-tile materialisation budget (per plan) before the executor
+#: falls back to lazy per-chunk decompression.
+DEFAULT_MAX_MATERIALIZED_BYTES = 256 << 20
+
+#: ``MeanNNZTC`` above which the adaptive mode fuses a chunk's windows
+#: into dense GEMMs (8 of 64 slots filled — tiles are dense enough that
+#: one big GEMM beats many tiny ones plus the segmented sum).
+FUSED_DENSITY_THRESHOLD = 8.0
+
+#: Per-member gathered-B slab target, in *elements* (~64 MB of fp32).
+#: Must match the historical ``execute_tiled`` chunking so chunk
+#: boundaries — and therefore fp32 accumulation order — are unchanged.
+CHUNK_TARGET_ELEMS = 16 << 20
+
+#: Longest segment the stepped replica handles itself: ``reduceat``
+#: accumulates ``a[first] + pairwise(rest)``, and numpy's pairwise sum
+#: is sequential only below 8 elements (rest ≤ 7 ⇒ length ≤ 8).
+STEPPED_MAX_SEG = 8
+
+_stepped_ok: bool | None = None
+
+
+def _stepped_replica_ok() -> bool:
+    """One-time probe: does this numpy's ``reduceat`` accumulate each
+    segment as ``a[first] + leftfold(a[first+1:])`` for lengths ≤ 8?
+
+    The stepped strategy reproduces exactly that order; if a numpy
+    upgrade ever changes the kernel, this probe fails and compilation
+    falls back to calling ``reduceat`` itself — correctness never
+    depends on the probe, only speed does.
+    """
+    global _stepped_ok
+    if _stepped_ok is None:
+        rng = np.random.default_rng(0xACC)
+        lens = np.array([1, 2, 3, 4, 5, 6, 7, 8, 1, 8, 2, 5], dtype=np.int64)
+        first = np.zeros(lens.size, dtype=np.int64)
+        np.cumsum(lens[:-1], out=first[1:])
+        part = rng.standard_normal((int(lens.sum()), 4, 4)).astype(np.float32)
+        ref = np.add.reduceat(part, first, axis=0)
+        out = np.empty_like(ref)
+        for i, (f, c) in enumerate(zip(first, lens)):
+            if c == 1:
+                out[i] = part[f]
+            else:
+                rest = part[f + 1]
+                for j in range(2, c):
+                    rest = rest + part[f + j]
+                out[i] = part[f] + rest
+        _stepped_ok = bool(np.array_equal(out, ref))
+    return _stepped_ok
+
+
+@dataclass
+class ExecStats:
+    """Counters for one executor lifetime (prep-hit accounting)."""
+
+    #: multiply calls served by this executor
+    calls: int = 0
+    #: calls that found their chunk program already compiled
+    prep_hits: int = 0
+    #: calls that had to compile a chunk program first (per N-class)
+    prep_misses: int = 0
+    #: chunk strategy -> number of chunks compiled with it
+    strategies: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "prep_hits": self.prep_hits,
+            "prep_misses": self.prep_misses,
+            "strategies": dict(self.strategies),
+        }
+
+
+@dataclass
+class _ChunkProgram:
+    """Frozen B-invariant execution state for one block chunk."""
+
+    b0: int
+    b1: int
+    strategy: str  # "direct" | "stepped" | "reduceat" | "fused"
+    #: gather rows into (rounded) B, padding mapped to row 0 — a view
+    #: into the plan-level position array
+    pos: np.ndarray
+    #: flat row ids (chunk-relative) of the gather buffer to zero
+    pad_rows: np.ndarray
+    #: target RowWindows of this chunk's segments
+    uniq_w: np.ndarray
+    #: first block row of each segment (reduceat starts)
+    first: np.ndarray
+    #: fused strategy: [(window ids, (g, L) block rows, (g, 8, L*8) A)]
+    fused_groups: list = field(default_factory=list)
+    # --- stepped strategy ------------------------------------------------
+    #: length-1 segments: part rows / target windows (indexed add)
+    single_rows: np.ndarray | None = None
+    single_wins: np.ndarray | None = None
+    #: length-2..8 segments: first rows, their targets, and the fold
+    #: steps [(positions into the short list, part rows to add)]
+    short_first: np.ndarray | None = None
+    short_wins: np.ndarray | None = None
+    short_steps: list = field(default_factory=list)
+    #: length-9+ segments: compacted rows, compact starts, targets
+    long_rows: np.ndarray | None = None
+    long_first: np.ndarray | None = None
+    long_wins: np.ndarray | None = None
+
+    @property
+    def k(self) -> int:
+        return self.b1 - self.b0
+
+
+class _BufferPool:
+    """A small thread-safe pool of gather buffers.
+
+    ``execute`` runs concurrently on engine-cached plans, so the
+    preallocated ``(rows, N)`` slabs cannot simply live on the executor;
+    each call checks one out and returns it, and the pool keeps at most
+    a handful alive.
+    """
+
+    _MAX_POOLED = 4
+
+    def __init__(self) -> None:
+        self._free: list[np.ndarray] = []
+        self._lock = threading.Lock()
+
+    def acquire(self, rows: int, n: int) -> np.ndarray:
+        with self._lock:
+            for i, buf in enumerate(self._free):
+                if buf.shape[0] >= rows and buf.shape[1] == n:
+                    return self._free.pop(i)
+        return np.empty((rows, n), dtype=np.float32)
+
+    def release(self, buf: np.ndarray) -> None:
+        with self._lock:
+            if len(self._free) < self._MAX_POOLED:
+                self._free.append(buf)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return sum(b.nbytes for b in self._free)
+
+
+class TCExecPlan:
+    """The compiled, B-invariant half of :func:`execute_tiled`.
+
+    Built once per :class:`~repro.kernels.tc_common.TCPlan` (lazily, on
+    the first multiply) and cached on the plan.  Chunk programs are
+    compiled per feature-dimension class — chunk boundaries depend on N
+    through the slab-size formula — and cached in ``_programs``.
+
+    Parameters come from ``plan.meta``:
+
+    ``exec_max_bytes``
+        Dense-tile materialisation budget (default
+        :data:`DEFAULT_MAX_MATERIALIZED_BYTES`).  Over budget, tiles are
+        decompressed lazily per chunk from precomputed scatter indices.
+    ``exec_mode``
+        ``"exact"`` (default): strategies restricted to the bit-for-bit
+        ``"direct"``/``"reduceat"`` paths.  ``"adaptive"``: dense chunks
+        may use the ``"fused"`` GEMM strategy (fp32 reassociation).
+    ``exec_chunk_elems``
+        Slab-size target override (tests force multi-chunk execution on
+        small matrices with it).
+    """
+
+    def __init__(self, plan) -> None:
+        t = plan.tiling
+        self.tiling = t
+        #: identity of the packed values this executor was compiled from;
+        #: value refreshes swap ``vals_packed``, invalidating us
+        self.vals_ref = plan.vals_packed
+        self.mode = plan.meta.get("exec_mode", "exact")
+        self.max_bytes = plan.meta.get(
+            "exec_max_bytes", DEFAULT_MAX_MATERIALIZED_BYTES
+        )
+        self.chunk_elems = plan.meta.get("exec_chunk_elems", CHUNK_TARGET_ELEMS)
+        self.stats = ExecStats()
+        self._lock = threading.Lock()
+        self._programs: dict[int, list[_ChunkProgram]] = {}
+        self._pool = _BufferPool()
+
+        wr, bc = t.window_rows, t.block_cols
+        #: output rows in original order: original row r lives at rank[r]
+        self.out_rank = plan.reorder.row_perm.rank[: plan.n_rows_original]
+
+        if t.n_blocks == 0:
+            self.vals_rounded = np.zeros(0, dtype=np.float32)
+            self.scatter_flat = np.zeros(0, dtype=np.int64)
+            self.tiles_all = None
+            self.pos_all = np.zeros(0, dtype=np.int64)
+            self.pad_all = np.zeros(0, dtype=np.int64)
+            self.materialized = False
+            return
+
+        # A-side values: TF32 rounding is value-invariant across calls,
+        # so round once here instead of once per multiply.
+        self.vals_rounded = tf32_round(plan.vals_packed)
+
+        # flat scatter index of each nnz into the dense (n_blocks, wr, bc)
+        # tile stack — the decompression the reference re-derives per call
+        counts = t.nnz_per_block()
+        block_of_nnz = np.repeat(np.arange(t.n_blocks, dtype=np.int64), counts)
+        self.scatter_flat = (
+            block_of_nnz * wr + t.local_rows.astype(np.int64)
+        ) * bc + t.local_cols.astype(np.int64)
+
+        tile_bytes = t.n_blocks * wr * bc * 4
+        self.materialized = tile_bytes <= self.max_bytes
+        if self.materialized:
+            tiles = np.zeros(t.n_blocks * wr * bc, dtype=np.float32)
+            tiles[self.scatter_flat] = self.vals_rounded
+            self.tiles_all = tiles.reshape(t.n_blocks, wr, bc)
+            # the scatter descriptors exist only to feed lazy per-chunk
+            # decompression; with the tiles resident they are dead weight
+            # (12 bytes per nnz) — drop them so they are neither pinned
+            # nor charged to the cache budget
+            self.scatter_flat = None
+            self.vals_rounded = None
+        else:
+            self.tiles_all = None
+
+        # gather geometry: padding slots (-1) pull row 0 and are zeroed
+        slots = t.sparse_a_to_b
+        self.pos_all = np.maximum(slots, 0)
+        self.pad_all = np.flatnonzero(slots < 0)  # sorted flat slot ids
+
+    # ------------------------------------------------------------------
+    # compilation
+    # ------------------------------------------------------------------
+    def prepare_for(self, n: int) -> "TCExecPlan":
+        """Compile (or fetch) the chunk program for feature dim ``n``."""
+        if self.tiling.n_blocks:
+            self._program_for(n)
+        return self
+
+    def is_prepared_for(self, n: int) -> bool:
+        """Whether a multiply at feature dim ``n`` needs no compilation
+        (the engine uses this to skip budget re-checks on pure hits)."""
+        if not self.tiling.n_blocks:
+            return True
+        with self._lock:
+            return self._blocks_per_chunk(n) in self._programs
+
+    #: retained chunk programs (distinct N-classes); beyond this the
+    #: oldest is dropped and recompiled on demand
+    _MAX_PROGRAMS = 8
+
+    def _blocks_per_chunk(self, n: int) -> int:
+        bc = self.tiling.block_cols
+        bpc = max(1, self.chunk_elems // max(1, bc * n))
+        # every bpc >= n_blocks yields the same single-chunk program —
+        # collapse them to one cache key (chunk boundaries are unchanged)
+        return min(bpc, self.tiling.n_blocks) or 1
+
+    def _program_for(self, n: int) -> list[_ChunkProgram]:
+        """The chunk program for feature dimension ``n`` (compile once).
+
+        Returns the cached program when the N-class was seen before (a
+        prep hit); otherwise compiles and caches it.
+        """
+        bpc = self._blocks_per_chunk(n)
+        with self._lock:
+            prog = self._programs.get(bpc)
+            if prog is not None:
+                self.stats.prep_hits += 1
+                return prog
+        prog = self._compile(bpc)
+        with self._lock:
+            self.stats.prep_misses += 1
+            existing = self._programs.get(bpc)
+            if existing is None:
+                while len(self._programs) >= self._MAX_PROGRAMS:
+                    self._programs.pop(next(iter(self._programs)))
+                self._programs[bpc] = existing = prog
+                for cp in prog:
+                    key = cp.strategy
+                    self.stats.strategies[key] = (
+                        self.stats.strategies.get(key, 0) + 1
+                    )
+        return existing
+
+    def _compile(self, bpc: int) -> list[_ChunkProgram]:
+        t = self.tiling
+        bc = t.block_cols
+        chunks: list[_ChunkProgram] = []
+        counts_nnz = t.nnz_per_block()
+        for b0 in range(0, t.n_blocks, bpc):
+            b1 = min(b0 + bpc, t.n_blocks)
+            k = b1 - b0
+            pos = self.pos_all[b0 * bc : b1 * bc]
+            lo = np.searchsorted(self.pad_all, b0 * bc)
+            hi = np.searchsorted(self.pad_all, b1 * bc)
+            pad_rows = self.pad_all[lo:hi] - b0 * bc
+            w = t.block_window[b0:b1]
+            uniq_w, first = np.unique(w, return_index=True)
+            seg_len = np.diff(np.append(first, k))
+            mean_nnz = counts_nnz[b0:b1].mean() if k else 0.0
+            if (seg_len == 1).all():
+                strategy = "direct"
+            elif (
+                self.mode == "adaptive"
+                and self.materialized
+                and mean_nnz >= FUSED_DENSITY_THRESHOLD
+            ):
+                strategy = "fused"
+            elif _stepped_replica_ok():
+                strategy = "stepped"
+            else:
+                strategy = "reduceat"
+            cp = _ChunkProgram(
+                b0=b0,
+                b1=b1,
+                strategy=strategy,
+                pos=pos,
+                pad_rows=pad_rows,
+                uniq_w=uniq_w,
+                first=first,
+            )
+            if strategy == "stepped":
+                self._compile_stepped(cp, seg_len)
+            elif strategy == "fused":
+                cp.fused_groups = self._compile_fused(cp, seg_len)
+            chunks.append(cp)
+        return chunks
+
+    @staticmethod
+    def _compile_stepped(cp: _ChunkProgram, seg_len: np.ndarray) -> None:
+        """Precompute the fold program replicating ``reduceat`` bitwise.
+
+        Buckets the chunk's segments by length: 1 (indexed add), 2..8
+        (``a[first] + leftfold(rest)`` via step arrays — step ``s`` adds
+        block row ``first+s`` into every still-open fold), and 9+
+        (compacted and reduced by ``reduceat`` itself at execute time,
+        which preserves per-segment bits).
+
+        The short bucket is sorted by segment length, longest first, so
+        the still-open folds of every step form a contiguous *prefix*:
+        each step is a cheap slice-add instead of a fancy-indexed
+        read-modify-write.  Reordering the bucket is bit-neutral — the
+        segments are independent and their targets disjoint.
+        """
+        single = seg_len == 1
+        short = (seg_len >= 2) & (seg_len <= STEPPED_MAX_SEG)
+        long_ = seg_len > STEPPED_MAX_SEG
+        cp.single_rows = cp.first[single]
+        cp.single_wins = cp.uniq_w[single]
+        short_len = seg_len[short]
+        order = np.argsort(-short_len, kind="stable")
+        cp.short_first = cp.first[short][order]
+        cp.short_wins = cp.uniq_w[short][order]
+        short_len = short_len[order]
+        cp.short_steps = []
+        for s in range(2, int(short_len.max()) if short_len.size else 2):
+            n_open = int(np.searchsorted(-short_len, -s, side="left"))
+            cp.short_steps.append((n_open, cp.short_first[:n_open] + s))
+        if long_.any():
+            firsts, lens = cp.first[long_], seg_len[long_]
+            cp.long_rows = ragged_gather_indices(firsts, lens)
+            cp.long_first = np.zeros(lens.size, dtype=np.int64)
+            np.cumsum(lens[:-1], out=cp.long_first[1:])
+            cp.long_wins = cp.uniq_w[long_]
+        else:
+            cp.long_rows = None
+
+    def _compile_fused(
+        self, cp: _ChunkProgram, seg_len: np.ndarray
+    ) -> list:
+        """Group a chunk's windows by block count and pre-concatenate A.
+
+        A window with L blocks becomes one ``(8, L*8)`` dense A slab; all
+        same-L windows share a batched GEMM at execute time.
+        """
+        t = self.tiling
+        wr, bc = t.window_rows, t.block_cols
+        tiles = self.tiles_all[cp.b0 : cp.b1]
+        groups = []
+        for length in np.unique(seg_len):
+            sel = np.flatnonzero(seg_len == length)
+            rows2d = cp.first[sel][:, None] + np.arange(length, dtype=np.int64)
+            a = tiles[rows2d]  # (g, L, wr, bc)
+            a_fused = np.ascontiguousarray(
+                a.transpose(0, 2, 1, 3).reshape(sel.size, wr, length * bc)
+            )
+            groups.append((cp.uniq_w[sel], rows2d, a_fused))
+        return groups
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _chunk_tiles(self, cp: _ChunkProgram) -> np.ndarray:
+        """Pre-rounded dense A tiles of one chunk (view or lazy scatter)."""
+        if self.tiles_all is not None:
+            return self.tiles_all[cp.b0 : cp.b1]
+        t = self.tiling
+        wr, bc = t.window_rows, t.block_cols
+        lo, hi = t.tc_offset[cp.b0], t.tc_offset[cp.b1]
+        tiles = np.zeros(cp.k * wr * bc, dtype=np.float32)
+        tiles[self.scatter_flat[lo:hi] - cp.b0 * wr * bc] = self.vals_rounded[lo:hi]
+        return tiles.reshape(cp.k, wr, bc)
+
+    def _run_chunk(
+        self, cp: _ChunkProgram, tiles, B_r_i, acc_i, buf, n: int
+    ) -> None:
+        """One (chunk, batch member) step: gather, MMA, segmented add."""
+        bc = self.tiling.block_cols
+        gathered = buf[: cp.k * bc]
+        np.take(B_r_i, cp.pos, axis=0, out=gathered)
+        if cp.pad_rows.size:
+            gathered[cp.pad_rows] = 0.0
+        g3 = gathered.reshape(cp.k, bc, n)
+        if cp.strategy == "fused":
+            for wins, rows2d, a_fused in cp.fused_groups:
+                b_f = g3[rows2d].reshape(rows2d.shape[0], -1, n)
+                acc_i[wins] += np.matmul(a_fused, b_f)
+            return
+        part = batched_tile_mma(g3, tiles, assume_rounded=True)
+        if cp.strategy == "direct":
+            acc_i[cp.uniq_w] += part
+        elif cp.strategy == "stepped":
+            # each window lives in exactly one bucket, so the three adds
+            # touch disjoint acc slots — together they are the
+            # reference's single fancy-indexed add, bit for bit
+            if cp.single_rows.size:
+                acc_i[cp.single_wins] += part[cp.single_rows]
+            if cp.short_first.size:
+                fold = part[cp.short_first + 1]
+                for n_open, rows in cp.short_steps:
+                    fold[:n_open] += part[rows]
+                fold += part[cp.short_first]  # a0 + rest (commutative)
+                acc_i[cp.short_wins] += fold
+            if cp.long_rows is not None:
+                acc_i[cp.long_wins] += np.add.reduceat(
+                    part[cp.long_rows], cp.long_first, axis=0
+                )
+        else:
+            acc_i[cp.uniq_w] += np.add.reduceat(part, cp.first, axis=0)
+
+    def execute(self, B: np.ndarray) -> np.ndarray:
+        """SpMM over the prepared state; ``B`` is ``(K, N)`` or
+        ``(batch, K, N)``.  Bit-for-bit equal to the reference path in
+        ``"exact"`` mode."""
+        single = B.ndim == 2
+        if single:
+            B = B[None]
+        batch, _, n = B.shape
+        t = self.tiling
+        wr = t.window_rows
+        n_out = self.out_rank.size
+        out = np.zeros((batch, n_out, n), dtype=np.float32)
+        if t.n_blocks and batch:
+            with self._lock:
+                self.stats.calls += 1
+            prog = self._program_for(n)
+            max_rows = max(cp.k for cp in prog) * t.block_cols
+            buf = self._pool.acquire(max_rows, n)
+            acc = np.zeros((t.n_windows, wr, n), dtype=np.float32)
+            try:
+                if self.materialized or batch == 1:
+                    # member-outer: one member's rounded B + accumulator
+                    # stay cache-resident; chunk tiles are free views.
+                    # Per (member, chunk) the work — and therefore the
+                    # fp32 accumulation order — is identical to the
+                    # chunk-outer reference loop.
+                    for i in range(batch):
+                        if i:
+                            acc.fill(0.0)
+                        B_r_i = tf32_round(B[i])
+                        for cp in prog:
+                            self._run_chunk(
+                                cp, self._chunk_tiles(cp), B_r_i, acc, buf, n
+                            )
+                        self._finish_member(acc, out[i], n)
+                else:
+                    # lazy tiles + multi-B: decompress each chunk once
+                    # and share it across the whole batch
+                    B_r = tf32_round(B)
+                    accs = np.zeros(
+                        (batch, t.n_windows, wr, n), dtype=np.float32
+                    )
+                    for cp in prog:
+                        tiles = self._chunk_tiles(cp)
+                        for i in range(batch):
+                            self._run_chunk(cp, tiles, B_r[i], accs[i], buf, n)
+                    for i in range(batch):
+                        self._finish_member(accs[i], out[i], n)
+            finally:
+                self._pool.release(buf)
+        return out[0] if single else out
+
+    def _finish_member(self, acc_i, out_i, n: int) -> None:
+        """Undo the row relabeling into the caller-visible output slice."""
+        t = self.tiling
+        C_perm = acc_i.reshape(t.n_windows * t.window_rows, n)[: t.n_rows]
+        np.take(C_perm, self.out_rank, axis=0, out=out_i)
+
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Bytes pinned by the prepared state (cache accounting)."""
+
+        def arr_bytes(*arrays) -> int:
+            return sum(a.nbytes for a in arrays if a is not None)
+
+        total = arr_bytes(
+            self.vals_rounded,
+            self.scatter_flat,
+            self.tiles_all,
+            self.pos_all,
+            self.pad_all,
+            self.out_rank,
+        ) + self._pool.nbytes
+        with self._lock:
+            programs = [cp for prog in self._programs.values() for cp in prog]
+        for cp in programs:
+            total += arr_bytes(
+                cp.pad_rows,
+                cp.uniq_w,
+                cp.first,
+                cp.single_rows,
+                cp.single_wins,
+                cp.short_first,
+                cp.short_wins,
+                cp.long_rows,
+                cp.long_first,
+                cp.long_wins,
+            )
+            total += arr_bytes(*(rows for _, rows in cp.short_steps))
+            for _, rows2d, a_fused in cp.fused_groups:
+                total += rows2d.nbytes + a_fused.nbytes
+        return total
+
+
+# ----------------------------------------------------------------------
+def get_executor(plan) -> TCExecPlan:
+    """The plan's cached executor, (re)built when missing or stale.
+
+    The executor bakes in ``vals_packed`` (rounded values, materialised
+    tiles), so a value refresh — which swaps ``vals_packed`` on a copied
+    plan — must not reuse it; staleness is detected by array identity.
+    A benign race may build twice under concurrency; both results are
+    correct and one wins the cache slot.
+    """
+    ex = getattr(plan, "exec_cache", None)
+    if ex is not None and ex.vals_ref is plan.vals_packed:
+        return ex
+    ex = TCExecPlan(plan)
+    plan.exec_cache = ex
+    return ex

@@ -58,6 +58,7 @@ class TCGNNKernel(SpMMKernel):
         )
 
     def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+        # shares the prepared-executor path with all TC kernels
         return execute_tiled(plan, B)
 
     def simulate(

@@ -14,7 +14,12 @@ Typical use::
 """
 
 from repro.serve.cache import CacheStats, PlanCache
-from repro.serve.engine import SpMMEngine, default_engine, reset_default_engine
+from repro.serve.engine import (
+    SpMMEngine,
+    default_engine,
+    plan_nbytes,
+    reset_default_engine,
+)
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint
 
 __all__ = [
@@ -22,6 +27,7 @@ __all__ = [
     "PlanCache",
     "SpMMEngine",
     "default_engine",
+    "plan_nbytes",
     "reset_default_engine",
     "MatrixFingerprint",
     "fingerprint",

@@ -57,13 +57,23 @@ class PlanCache:
     """Bounded LRU cache of built plans, keyed by content.
 
     ``capacity`` bounds the number of cached plans; inserting beyond it
-    evicts the least-recently-used entry.  Keys are opaque hashable
-    tuples (the engine builds them from
+    evicts the least-recently-used entry.  ``max_bytes`` additionally
+    bounds the *byte* footprint: sizes come from the ``size_of`` callable
+    (the engine passes a plan-byte estimator covering tiling arrays,
+    values, and lazily-built executor state), and eviction continues from
+    the LRU end until the total fits — always keeping at least one entry,
+    so a single over-budget plan still serves.  Sizes are recomputed on
+    demand because executors grow entries *after* insertion; call
+    :meth:`enforce_limits` after such growth.
+
+    Keys are opaque hashable tuples (the engine builds them from
     :class:`~repro.serve.fingerprint.MatrixFingerprint` plus device and
     config); values are whatever plan object the caller stores.
     """
 
     capacity: int = 32
+    max_bytes: int | None = None
+    size_of: object = None  # callable(plan) -> int, optional
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     #: structural key -> most recent full key with that structure
@@ -72,6 +82,8 @@ class PlanCache:
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("cache capacity must be >= 1")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("cache max_bytes must be >= 1 (or None)")
 
     # ------------------------------------------------------------------
     def get(self, key: tuple) -> object | None:
@@ -104,21 +116,48 @@ class PlanCache:
         return self._entries.get(full_key)
 
     def put(self, key: tuple, plan: object, structural_key: tuple | None = None) -> None:
-        """Insert (or refresh) an entry, evicting LRU beyond capacity."""
+        """Insert (or refresh) an entry, evicting LRU beyond the limits."""
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = plan
         if structural_key is not None:
             self._by_structure[structural_key] = key
+        self.enforce_limits()
+
+    def enforce_limits(self) -> None:
+        """Evict LRU entries until both count and byte limits hold.
+
+        At least one entry always survives: a plan bigger than the whole
+        budget would otherwise thrash on every request.
+        """
         while len(self._entries) > self.capacity:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self.stats.evictions += 1
-            # drop dangling structural pointers to the evicted entry
-            stale = [
-                s for s, f in self._by_structure.items() if f == evicted_key
-            ]
-            for s in stale:
-                del self._by_structure[s]
+            self._evict_lru()
+        if self.max_bytes is None or self.size_of is None:
+            return
+        while len(self._entries) > 1 and self.total_bytes() > self.max_bytes:
+            self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        evicted_key, _ = self._entries.popitem(last=False)
+        self.stats.evictions += 1
+        # drop dangling structural pointers to the evicted entry
+        stale = [s for s, f in self._by_structure.items() if f == evicted_key]
+        for s in stale:
+            del self._by_structure[s]
+
+    def total_bytes(self) -> int:
+        """Current byte footprint of all entries (0 without ``size_of``).
+
+        Recomputed live so entries whose executor was built after
+        insertion are charged their real size.
+        """
+        if self.size_of is None:
+            return 0
+        return sum(self.size_of(p) for p in self._entries.values())
+
+    def values(self):
+        """The cached plans, LRU-first (stats/introspection; no LRU touch)."""
+        return list(self._entries.values())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

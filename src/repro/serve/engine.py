@@ -3,10 +3,13 @@
 :class:`SpMMEngine` fronts repeated ``C = A @ B`` traffic the way a
 production service would: every request is keyed by the *content* of its
 sparse operand, plans are built once and reused from an LRU
-:class:`~repro.serve.cache.PlanCache`, value-only matrix updates are
-served by repacking values into the cached structural plan, and batched
-right-hand sides run through the single-decompression multi-B path of
-:func:`repro.kernels.tc_common.execute_tiled`.
+:class:`~repro.serve.cache.PlanCache` (optionally byte-budgeted —
+entries are charged their measured :func:`plan_nbytes`, prepared
+executors included), value-only matrix updates are served by repacking
+values into the cached structural plan, and steady-state multiplies
+replay each plan's compiled executor
+(:mod:`repro.kernels.executor`), so only the B-dependent work runs per
+request.
 
 One engine serves many matrices, devices and configs concurrently — the
 cache key is ``(fingerprint, device, config)``.  Plans are reused across
@@ -34,6 +37,16 @@ from repro.sparse.csr import CSRMatrix
 from repro.util.timing import Timer
 
 
+def plan_nbytes(plan) -> int:
+    """Byte estimate of a cached plan (tiling + values + executor state).
+
+    Duck-typed so :class:`~repro.serve.cache.PlanCache` stays agnostic of
+    what it stores; objects without an ``nbytes`` estimator cost 0.
+    """
+    estimator = getattr(plan, "nbytes", None)
+    return int(estimator()) if callable(estimator) else 0
+
+
 class SpMMEngine:
     """Serve repeated SpMM traffic through a content-addressed plan cache.
 
@@ -41,6 +54,18 @@ class SpMMEngine:
     ----------
     capacity:
         Maximum number of cached plans (LRU eviction beyond it).
+    max_bytes:
+        Optional byte budget for the cache: each entry is charged its
+        :func:`plan_nbytes` (which includes lazily-built prepared
+        executors), and LRU eviction keeps the total under budget.  The
+        budget is enforced on inserts and after engine-mediated
+        multiplies that compiled executor state; a plan fetched via
+        :meth:`get_plan` and multiplied *outside* the engine grows its
+        entry silently until the next engine-mediated request re-checks.
+    exec_max_bytes:
+        Optional per-plan budget for executor tile materialisation;
+        plans whose dense tiles would exceed it fall back to lazy
+        per-chunk decompression (see :mod:`repro.kernels.executor`).
     device, config:
         Defaults applied when a request does not name its own.
     """
@@ -50,10 +75,15 @@ class SpMMEngine:
         capacity: int = 32,
         device: DeviceSpec | str = "a800",
         config: AccConfig | None = None,
+        max_bytes: int | None = None,
+        exec_max_bytes: int | None = None,
     ) -> None:
-        self.cache = PlanCache(capacity=capacity)
+        self.cache = PlanCache(
+            capacity=capacity, max_bytes=max_bytes, size_of=plan_nbytes
+        )
         self.default_device = get_device(device)
         self.default_config = config or AccConfig.paper_default()
+        self.exec_max_bytes = exec_max_bytes
         self._lock = threading.Lock()
         #: per-key locks so a slow plan build only blocks same-key requests
         self._build_locks: dict = {}
@@ -94,6 +124,8 @@ class SpMMEngine:
                     p = build_plan(
                         csr, feature_dim=feature_dim, device=spec, config=cfg
                     )
+                    if self.exec_max_bytes is not None:
+                        p.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
                 with self._lock:
                     if base is not None:
                         self.cache.stats.value_refreshes += 1
@@ -115,8 +147,21 @@ class SpMMEngine:
             same_layout = tc.reorder.row_perm.is_identity()
             csr_r = csr if same_layout else tc.reorder.apply(csr)
             vals_packed = csr_r.vals[tc.tiling.perm_nnz]
+            # dc_replace is shallow and meta is mutable (exec_mode /
+            # exec_max_bytes live there): give the refreshed plan its own
+            # copy so later prepare() calls cannot leak across plans, and
+            # drop any user-requested exec_mode — opting the *old* values
+            # into the reassociating adaptive strategy must not silently
+            # extend to a new matrix.  exec_max_bytes stays: the engine
+            # owns it.  exec_cache is init=False, so the stale executor —
+            # which bakes the old values in — is dropped automatically.
+            meta = dict(tc.meta)
+            meta.pop("exec_mode", None)
             new_tc = dc_replace(
-                tc, csr_reordered=csr_r, vals_packed=vals_packed
+                tc,
+                csr_reordered=csr_r,
+                vals_packed=vals_packed,
+                meta=meta,
             )
         return AccPlan(
             csr=csr,
@@ -150,7 +195,15 @@ class SpMMEngine:
                 )
             return np.zeros((csr.n_rows, B.shape[1]), dtype=np.float32)
         p = self.get_plan(csr, feature_dim=B.shape[-1], device=device, config=config)
-        return p.multiply(B)
+        was_prepared = self._is_prepared(p, B.shape[-1])
+        C = p.multiply(B)
+        # only a multiply that built executor state can have grown the
+        # entry enough to matter; steady-state hits skip the re-check
+        # (and its O(entries) byte walk under the engine lock)
+        if not was_prepared:
+            with self._lock:
+                self.cache.enforce_limits()
+        return C
 
     def multiply_many(
         self,
@@ -177,16 +230,50 @@ class SpMMEngine:
                 (Bs.shape[0], csr.n_rows, Bs.shape[2]), dtype=np.float32
             )
         p = self.get_plan(csr, feature_dim=Bs.shape[-1], device=device, config=config)
-        return p.multiply_many(Bs)
+        was_prepared = self._is_prepared(p, Bs.shape[-1])
+        Cs = p.multiply_many(Bs)
+        if not was_prepared:
+            with self._lock:
+                self.cache.enforce_limits()
+        return Cs
+
+    @staticmethod
+    def _is_prepared(p: AccPlan, feature_dim: int) -> bool:
+        """True when a multiply at ``feature_dim`` will compile nothing
+        (executor built and its chunk program for this N-class cached)."""
+        ex = p.executor
+        return ex is not None and ex.is_prepared_for(feature_dim)
 
     # ------------------------------------------------------------------
     @property
     def stats(self) -> dict:
-        """Cache counters plus occupancy, for dashboards and tests."""
+        """Cache counters plus occupancy and executor-prep accounting.
+
+        The cache counters (``hits``/``misses``/``evictions``/...) are
+        lifetime totals; ``cached_bytes``, ``prepared_*`` and
+        ``prep_hits``/``prep_misses`` are *point-in-time* sums over the
+        currently cached plans — they shrink when a prepared plan is
+        evicted.
+        """
+        with self._lock:
+            plans = self.cache.values()
+            cached_bytes = self.cache.total_bytes()
+        executors = [
+            ex
+            for p in plans
+            if (ex := getattr(getattr(p, "tc_plan", None), "exec_cache", None))
+            is not None
+        ]
         return {
             **self.cache.stats.as_dict(),
-            "cached_plans": len(self.cache),
+            "cached_plans": len(plans),
             "capacity": self.cache.capacity,
+            "cached_bytes": cached_bytes,
+            "max_bytes": self.cache.max_bytes,
+            "prepared_plans": len(executors),
+            "prepared_bytes": sum(ex.nbytes for ex in executors),
+            "prep_hits": sum(ex.stats.prep_hits for ex in executors),
+            "prep_misses": sum(ex.stats.prep_misses for ex in executors),
         }
 
     def clear(self) -> None:
@@ -207,16 +294,18 @@ _default_lock = threading.Lock()
 def default_engine() -> SpMMEngine:
     """The lazily-created process-wide engine behind :func:`repro.spmm`.
 
-    Deliberately small: each cached plan pins the matrix, its reordered
-    copy and the tiling (~3x the matrix footprint), and this cache is
-    filled implicitly by ``repro.spmm``.  Traffic that wants a bigger
-    working set should build its own :class:`SpMMEngine`; one-off
-    multiplications should pass ``use_cache=False``.
+    Byte-budgeted rather than merely slot-bounded: each cached plan pins
+    the matrix, its reordered copy, the tiling, and (once multiplied) its
+    prepared executor, so the cache is capped at 256 MB of measured plan
+    bytes — which lets the slot count be generous for small-matrix
+    traffic.  Traffic that wants a bigger working set should build its
+    own :class:`SpMMEngine`; one-off multiplications should pass
+    ``use_cache=False``.
     """
     global _default_engine
     with _default_lock:
         if _default_engine is None:
-            _default_engine = SpMMEngine(capacity=8)
+            _default_engine = SpMMEngine(capacity=64, max_bytes=256 << 20)
         return _default_engine
 
 

@@ -11,6 +11,7 @@ from repro.serve import (
     SpMMEngine,
     default_engine,
     fingerprint,
+    plan_nbytes,
     reset_default_engine,
 )
 from repro.sparse.convert import csr_to_coo
@@ -104,6 +105,86 @@ class TestPlanCache:
         assert c.stats.requests == 0
 
 
+class TestByteBudget:
+    def test_cache_evicts_by_bytes(self):
+        c = PlanCache(capacity=100, max_bytes=100, size_of=len)
+        c.put(("a",), "x" * 60)
+        c.put(("b",), "y" * 60)  # 120 > 100: evict LRU "a"
+        assert ("a",) not in c and ("b",) in c
+        assert c.stats.evictions == 1
+        assert c.total_bytes() == 60
+
+    def test_single_oversized_entry_survives(self):
+        c = PlanCache(capacity=4, max_bytes=10, size_of=len)
+        c.put(("big",), "z" * 50)
+        assert ("big",) in c and len(c) == 1
+
+    def test_enforce_limits_after_growth(self):
+        sizes = {"a": 10, "b": 10}
+        c = PlanCache(capacity=4, max_bytes=25, size_of=sizes.get)
+        c.put(("k1",), "a")
+        c.put(("k2",), "b")
+        assert len(c) == 2
+        sizes["a"] = 30  # entry grew (e.g. executor built) after put
+        c.enforce_limits()
+        assert c.values() == ["b"]  # LRU "a" evicted to fit the budget
+
+    def test_max_bytes_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=2, max_bytes=0)
+
+    def test_plan_nbytes_duck_typing(self):
+        assert plan_nbytes(object()) == 0
+        p = plan(random_csr(64, 64, 0.1, seed=70), feature_dim=16)
+        n0 = plan_nbytes(p)
+        assert n0 == p.nbytes() > 0
+        p.multiply(np.ones((64, 16), dtype=np.float32))
+        assert plan_nbytes(p) > n0  # executor bytes now included
+
+    def test_engine_byte_budget_evicts(self):
+        B = np.ones((80, 16), dtype=np.float32)
+        probe = plan(random_csr(96, 80, 0.12, seed=71), feature_dim=16)
+        probe.multiply(B)
+        budget = int(plan_nbytes(probe) * 1.5)  # fits one plan, not two
+        eng = SpMMEngine(capacity=8, max_bytes=budget)
+        for seed in (71, 72, 73):
+            eng.spmm(random_csr(96, 80, 0.12, seed=seed), B)
+        s = eng.stats
+        assert s["cached_plans"] == 1 and s["evictions"] == 2
+        assert s["max_bytes"] == budget
+        assert 0 < s["cached_bytes"] <= budget
+
+    def test_engine_prep_stats(self):
+        eng = SpMMEngine()
+        csr = random_csr(96, 80, 0.12, seed=74)
+        B = np.ones((80, 16), dtype=np.float32)
+        for _ in range(3):
+            eng.spmm(csr, B)
+        s = eng.stats
+        assert s["prepared_plans"] == 1
+        assert s["prep_misses"] == 1 and s["prep_hits"] == 2
+        assert s["prepared_bytes"] > 0
+        assert s["cached_bytes"] >= s["prepared_bytes"]
+
+    def test_engine_exec_budget_forces_lazy(self):
+        eng = SpMMEngine(exec_max_bytes=0)
+        csr = random_csr(96, 80, 0.12, seed=75)
+        B = np.ones((80, 16), dtype=np.float32)
+        C = eng.spmm(csr, B)
+        p = eng.get_plan(csr, feature_dim=16)
+        assert p.executor is not None and not p.executor.materialized
+        assert np.array_equal(C, plan(csr, feature_dim=16).multiply(B))
+
+    def test_default_engine_is_byte_budgeted(self):
+        reset_default_engine()
+        try:
+            eng = default_engine()
+            assert eng.cache.max_bytes == 256 << 20
+            assert eng.cache.capacity == 64
+        finally:
+            reset_default_engine()
+
+
 class TestEngine:
     @pytest.fixture()
     def csr(self):
@@ -142,6 +223,21 @@ class TestEngine:
         # and hit the cache afterwards
         eng.spmm(csr2, B)
         assert eng.stats["hits"] == 1
+
+    def test_value_refresh_does_not_inherit_adaptive_mode(self, csr, B):
+        eng = SpMMEngine()
+        eng.spmm(csr, B)
+        # opt the cached plan (old values) into the reassociating mode
+        eng.get_plan(csr, feature_dim=16).prepare(mode="adaptive")
+        csr2 = with_values(csr, (csr.vals * 3.0).astype(np.float32))
+        C = eng.spmm(csr2, B)  # value refresh through the structural plan
+        assert eng.stats["value_refreshes"] == 1
+        # the refreshed plan must serve exact-mode (bit-for-bit) results
+        assert np.array_equal(C, plan(csr2, feature_dim=16).multiply(B))
+        # and its meta is a private copy, not an alias of the base's
+        base = eng.get_plan(csr, feature_dim=16)
+        refreshed = eng.get_plan(csr2, feature_dim=16)
+        assert refreshed.tc_plan.meta is not base.tc_plan.meta
 
     def test_structure_change_rebuilds(self, csr, B):
         eng = SpMMEngine()

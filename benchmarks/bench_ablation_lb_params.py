@@ -1,4 +1,4 @@
-"""Ablation — load-balancing parameters (DESIGN.md §5).
+"""Ablation — load-balancing parameters (docs/ARCHITECTURE.md; ablation beyond the paper).
 
 Sweeps the IBD activation threshold (paper: 8) and the per-TB block cap
 (paper: 32) on an imbalanced type-2 matrix, verifying the paper's

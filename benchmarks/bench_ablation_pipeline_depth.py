@@ -1,4 +1,4 @@
-"""Ablation — pipeline overlap depth (DESIGN.md §5).
+"""Ablation — pipeline overlap depth (docs/ARCHITECTURE.md; ablation beyond the paper).
 
 Depth 0 = fully synchronous (TC-GNN), depth 1 = single-buffer DTC
 pipeline, depth 2 = the paper's double-buffer least-bubble pipeline.

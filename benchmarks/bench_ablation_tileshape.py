@@ -1,4 +1,4 @@
-"""Ablation — TC tile shape (DESIGN.md §5).
+"""Ablation — TC tile shape (docs/ARCHITECTURE.md; ablation beyond the paper).
 
 The paper fixes 8x8 tiles: the largest geometry whose occupancy pattern
 fits one uint64 (§3.3) and the shape the swapped m16n8k8 MMA consumes

@@ -7,7 +7,7 @@ load balancing.  This package implements the paper's contribution *and*
 every substrate it depends on — sparse containers, graph algorithms, six
 baseline reorderers, three tiled formats, five rival SpMM kernels, and a
 calibrated GPU timing/cache simulator standing in for the RTX 4090 / A800
-/ H100 testbeds (see DESIGN.md for the substitution map).
+/ H100 testbeds (see docs/ARCHITECTURE.md for the substitution map).
 
 Quick start::
 
@@ -29,6 +29,15 @@ Serving repeated traffic (plan-reuse engine, batched right-hand sides)::
     C = engine.spmm(A, B)                         # cold: builds the plan
     Cs = engine.multiply_many(A, np.stack([B, B]))  # one decompression pass
     print(engine.stats)                           # hits/misses/evictions
+
+Cross-process plan persistence (a new worker skips planning)::
+
+    engine = repro.SpMMEngine(store=repro.PlanStore("/tmp/plans"))
+    engine.warm_start()                           # mmap plans from disk
+    C = engine.spmm(A, B)                         # cache hit, no replan
+
+See ``README.md`` for a tour, ``docs/ARCHITECTURE.md`` for the module
+map, and ``docs/SERVING.md`` for plan-cache and store semantics.
 """
 
 from repro.core import AccConfig, AccPlan, plan, spmm, spmm_many
@@ -41,6 +50,16 @@ from repro.serve import (
     fingerprint,
     reset_default_engine,
 )
+
+
+def __getattr__(name):
+    # lazy, like repro.serve's own store exports: keeps
+    # `python -m repro.serve.store` from double-importing the CLI module
+    if name == "PlanStore":
+        from repro.serve import store
+
+        return store.PlanStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.errors import (
     ConvergenceError,
     FormatError,
@@ -71,6 +90,7 @@ __all__ = [
     "spmm_many",
     "SpMMEngine",
     "PlanCache",
+    "PlanStore",
     "CacheStats",
     "MatrixFingerprint",
     "fingerprint",

@@ -89,6 +89,35 @@ class AccPlan:
         """The prepared executor, or ``None`` before the first multiply."""
         return self.tc_plan.exec_cache
 
+    # ------------------------------------------------------------------
+    def to_bytes(self, include_executor: bool = True) -> bytes:
+        """Serialise this plan to a versioned, self-describing container.
+
+        The bytes round-trip through :meth:`from_bytes` into a plan that
+        multiplies **bit-for-bit** identically; they are also exactly
+        what :class:`repro.serve.store.PlanStore` persists to disk.  With
+        ``include_executor`` (default) the structural half of an
+        already-built prepared executor (gather geometry, pad masks, the
+        output permutation) rides along, so a process loading the plan
+        skips that part of executor compilation.  No pickle is involved —
+        the container is a JSON header plus raw array payloads.
+        """
+        from repro.serve.serial import plan_to_bytes
+
+        return plan_to_bytes(self, include_executor=include_executor)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "AccPlan":
+        """Rebuild a plan serialised by :meth:`to_bytes`.
+
+        Raises :class:`repro.errors.StoreError` (or its
+        ``StoreVersionError`` subclass) on corrupt, truncated, or
+        version-incompatible input — never returns a half-built plan.
+        """
+        from repro.serve.serial import plan_from_bytes
+
+        return plan_from_bytes(data)
+
     def nbytes(self) -> int:
         """Estimated bytes pinned by this plan (cache byte budgeting).
 
@@ -184,6 +213,22 @@ class AccPlan:
         return out
 
 
+def kernel_for_config(cfg: AccConfig) -> AccSpMMKernel:
+    """The :class:`AccSpMMKernel` a configuration describes.
+
+    Shared by :func:`plan` and the deserialisation path
+    (:mod:`repro.serve.serial`), which must rebuild the exact kernel a
+    persisted plan was created with.
+    """
+    return AccSpMMKernel(
+        reorder=cfg.reorder,
+        use_bittcf=cfg.use_bittcf,
+        cache_policy=cfg.cache_policy,
+        pipeline=cfg.pipeline_mode,
+        load_balance="adaptive" if cfg.load_balance else "off",
+    )
+
+
 def plan(
     csr: CSRMatrix,
     feature_dim: int = 128,
@@ -198,13 +243,7 @@ def plan(
         )
     cfg = config or AccConfig.paper_default()
     spec = get_device(device)
-    kernel = AccSpMMKernel(
-        reorder=cfg.reorder,
-        use_bittcf=cfg.use_bittcf,
-        cache_policy=cfg.cache_policy,
-        pipeline=cfg.pipeline_mode,
-        load_balance="adaptive" if cfg.load_balance else "off",
-    )
+    kernel = kernel_for_config(cfg)
     timer = Timer()
     with timer:
         tc_plan = kernel.plan(csr, feature_dim, spec)

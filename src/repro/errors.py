@@ -26,3 +26,19 @@ class SimulationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative algorithm failed to converge within its budget."""
+
+
+class StoreError(ReproError):
+    """A serialised plan (or plan-store entry) could not be decoded.
+
+    Raised on bad magic, truncated containers, malformed headers, or a
+    payload that fails validation.  The on-disk :class:`repro.serve.store.
+    PlanStore` catches it internally — a corrupt entry is quarantined and
+    reported as a miss, never propagated to serving traffic."""
+
+
+class StoreVersionError(StoreError):
+    """A serialised plan uses an incompatible format version.
+
+    Version bumps are deliberate invalidation: old entries are quarantined
+    on first contact rather than migrated (replanning is always safe)."""

@@ -72,6 +72,19 @@ class RowWindowTiling:
     block_window: np.ndarray
     perm_nnz: np.ndarray
 
+    #: Array attributes, in declaration order — the serialisation layer
+    #: (:mod:`repro.serve.serial`) iterates this to persist/restore a
+    #: tiling without naming each field twice.
+    ARRAY_FIELDS = (
+        "row_window_offset",
+        "tc_offset",
+        "sparse_a_to_b",
+        "local_rows",
+        "local_cols",
+        "block_window",
+        "perm_nnz",
+    )
+
     # ------------------------------------------------------------------
     @property
     def n_windows(self) -> int:

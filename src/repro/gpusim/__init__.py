@@ -2,7 +2,7 @@
 
 The paper's experiments run on RTX 4090, A800 and H100 silicon; none is
 available here, so this package models the pieces of those machines that
-SpMM performance actually depends on (see DESIGN.md substitution table):
+SpMM performance actually depends on (see docs/ARCHITECTURE.md substitution table):
 
 * :mod:`specs` — per-architecture parameters (Table 3) plus calibrated
   kernel-efficiency constants;

@@ -19,7 +19,7 @@ implementation quality we cannot simulate at instruction level:
     from measured traffic, blocks and pipeline overlap, not this knob).
 
 **Cache scaling.**  The synthetic datasets are 8-64x smaller than the
-paper's (DESIGN.md), so running them against full-size caches would put
+paper's (docs/ARCHITECTURE.md), so running them against full-size caches would put
 every matrix into the capacity regime where the whole dense B fits in L2 —
 a regime none of the paper's large graphs are in.  The ``l1_bytes_per_sm``
 and ``l2_bytes`` fields therefore carry capacities scaled by roughly the

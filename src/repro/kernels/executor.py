@@ -234,7 +234,7 @@ class TCExecPlan:
         small matrices with it).
     """
 
-    def __init__(self, plan) -> None:
+    def __init__(self, plan, structural: tuple | None = None) -> None:
         t = plan.tiling
         self.tiling = t
         #: identity of the packed values this executor was compiled from;
@@ -251,8 +251,12 @@ class TCExecPlan:
         self._pool = _BufferPool()
 
         wr, bc = t.window_rows, t.block_cols
-        #: output rows in original order: original row r lives at rank[r]
-        self.out_rank = plan.reorder.row_perm.rank[: plan.n_rows_original]
+        restored = self._check_structural(structural, plan)
+        if restored is not None:
+            #: output rows in original order: original row r lives at rank[r]
+            self.out_rank = restored["out_rank"]
+        else:
+            self.out_rank = plan.reorder.row_perm.rank[: plan.n_rows_original]
 
         if t.n_blocks == 0:
             self.vals_rounded = np.zeros(0, dtype=np.float32)
@@ -269,11 +273,16 @@ class TCExecPlan:
 
         # flat scatter index of each nnz into the dense (n_blocks, wr, bc)
         # tile stack — the decompression the reference re-derives per call
-        counts = t.nnz_per_block()
-        block_of_nnz = np.repeat(np.arange(t.n_blocks, dtype=np.int64), counts)
-        self.scatter_flat = (
-            block_of_nnz * wr + t.local_rows.astype(np.int64)
-        ) * bc + t.local_cols.astype(np.int64)
+        if restored is not None and restored.get("scatter_flat") is not None:
+            self.scatter_flat = restored["scatter_flat"]
+        else:
+            counts = t.nnz_per_block()
+            block_of_nnz = np.repeat(
+                np.arange(t.n_blocks, dtype=np.int64), counts
+            )
+            self.scatter_flat = (
+                block_of_nnz * wr + t.local_rows.astype(np.int64)
+            ) * bc + t.local_cols.astype(np.int64)
 
         tile_bytes = t.n_blocks * wr * bc * 4
         self.materialized = tile_bytes <= self.max_bytes
@@ -291,9 +300,95 @@ class TCExecPlan:
             self.tiles_all = None
 
         # gather geometry: padding slots (-1) pull row 0 and are zeroed
-        slots = t.sparse_a_to_b
-        self.pos_all = np.maximum(slots, 0)
-        self.pad_all = np.flatnonzero(slots < 0)  # sorted flat slot ids
+        if restored is not None:
+            self.pos_all = restored["pos_all"]
+            self.pad_all = restored["pad_all"]
+        else:
+            slots = t.sparse_a_to_b
+            self.pos_all = np.maximum(slots, 0)
+            self.pad_all = np.flatnonzero(slots < 0)  # sorted flat slot ids
+
+    # ------------------------------------------------------------------
+    # structural persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_structural(structural: tuple | None, plan) -> dict | None:
+        """Validate restored structural state; ``None`` falls back to
+        recomputation (restored geometry is an optimisation, never a
+        correctness dependency)."""
+        if structural is None:
+            return None
+        try:
+            meta, arrays = structural
+            t = plan.tiling
+            slot_count = t.n_blocks * t.block_cols
+            out_rank = np.asarray(arrays["out_rank"], dtype=np.int64)
+            pos_all = np.asarray(arrays["pos_all"], dtype=np.int64)
+            pad_all = np.asarray(arrays["pad_all"], dtype=np.int64)
+            scatter = arrays.get("scatter_flat")
+            if scatter is not None:
+                scatter = np.asarray(scatter, dtype=np.int64)
+                if scatter.shape != (t.nnz,):
+                    return None
+            if (
+                out_rank.shape != (plan.n_rows_original,)
+                or pos_all.shape != (slot_count,)
+                or pad_all.size > slot_count
+            ):
+                return None
+            return {
+                "out_rank": out_rank,
+                "pos_all": pos_all,
+                "pad_all": pad_all,
+                "scatter_flat": scatter,
+            }
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def structural_payload(self) -> tuple[dict, dict]:
+        """``(meta, arrays)`` of the value-independent half of this
+        executor: gather positions, pad slots, the output permutation,
+        and (when kept) the flat scatter indices.
+
+        This is what :meth:`to_bytes` and the plan persistence layer
+        serialise; the value-dependent half (rounded values, materialised
+        tiles) is always recomputed from ``vals_packed`` on restore —
+        it is a cheap scatter, and baking values into the structural
+        artifact would break value-refresh sharing.
+        """
+        meta = {"mode": self.mode, "materialized": bool(self.materialized)}
+        arrays = {
+            "out_rank": self.out_rank,
+            "pos_all": self.pos_all,
+            "pad_all": self.pad_all,
+            "scatter_flat": self.scatter_flat,  # None when tiles resident
+        }
+        return meta, arrays
+
+    def to_bytes(self) -> bytes:
+        """Serialise the structural half (see :meth:`structural_payload`)."""
+        from repro.serve.serial import pack_container
+
+        meta, arrays = self.structural_payload()
+        return pack_container("tcexec", meta, arrays)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, plan) -> "TCExecPlan":
+        """Executor for ``plan`` reusing serialised structural state.
+
+        The plan supplies values and tiling; ``data`` (produced by
+        :meth:`to_bytes`) supplies the precomputed geometry.  Mismatched
+        or corrupt state is silently recomputed instead."""
+        from repro.serve.serial import unpack_container
+
+        header, arrays = unpack_container(data)
+        if header.get("kind") != "tcexec":
+            from repro.errors import StoreError
+
+            raise StoreError(
+                f"expected a tcexec container, got {header.get('kind')!r}"
+            )
+        return cls(plan, structural=(header["meta"], arrays))
 
     # ------------------------------------------------------------------
     # compilation
@@ -614,6 +709,9 @@ def get_executor(plan) -> TCExecPlan:
     ex = getattr(plan, "exec_cache", None)
     if ex is not None and ex.vals_ref is plan.vals_packed:
         return ex
-    ex = TCExecPlan(plan)
+    structural = getattr(plan, "exec_structural", None)
+    ex = TCExecPlan(plan, structural=structural)
     plan.exec_cache = ex
+    if structural is not None:
+        plan.exec_structural = None  # consumed (or rejected) either way
     return ex

@@ -1,11 +1,23 @@
-"""LRU plan cache with hit/miss/eviction accounting.
+"""Plan cache with LRU or cost-aware eviction and full accounting.
 
 A plan is the expensive artifact of the Acc-SpMM pipeline (reorder →
 BitTCF → schedule); the paper's overhead argument ("for iterative
 applications, the overhead of this conversion is minimal") only holds if
 repeated traffic actually reuses it.  :class:`PlanCache` is that reuse
-point: a bounded, content-keyed LRU mapping
+point: a bounded, content-keyed cache mapping
 ``(matrix fingerprint, device, config)`` to built plans.
+
+Eviction policy is selectable:
+
+* ``"lru"`` (default) — classic least-recently-used.
+* ``"cost"`` — cost-aware: each entry is scored by its recorded build
+  cost times a smoothed observed hit rate
+  (``cost_of(plan) * (hits + 1) / (requests_since_insert + 1)``) and the
+  *lowest* score is evicted, with ties broken towards the LRU end.  An
+  expensive reorder+tile plan with steady traffic outscores a cheap plan
+  with the same traffic, so byte-budget pressure discards what is
+  cheapest to rebuild — the admission policy the serving roadmap calls
+  for, mirrored on disk by :class:`~repro.serve.store.PlanStore`.
 
 The cache also maintains a structural index so that a *value-only* change
 (same sparsity pattern, new weights — a training loop updating edge
@@ -31,6 +43,10 @@ class CacheStats:
     value_refreshes: int = 0
     #: full plan builds (reorder + tiling + schedule from scratch)
     plans_built: int = 0
+    #: misses served by loading a persisted plan from the on-disk store
+    store_hits: int = 0
+    #: misses that consulted the store and found nothing usable
+    store_misses: int = 0
 
     @property
     def requests(self) -> int:
@@ -48,23 +64,40 @@ class CacheStats:
             "evictions": self.evictions,
             "value_refreshes": self.value_refreshes,
             "plans_built": self.plans_built,
+            "store_hits": self.store_hits,
+            "store_misses": self.store_misses,
             "hit_rate": round(self.hit_rate, 4),
         }
 
 
 @dataclass
+class _EntryMeta:
+    """Per-entry accounting for the cost-aware policy."""
+
+    hits: int = 0
+    #: value of ``stats.requests`` when the entry was inserted — the
+    #: denominator of its smoothed hit rate
+    inserted_at: int = 0
+
+
+@dataclass
 class PlanCache:
-    """Bounded LRU cache of built plans, keyed by content.
+    """Bounded cache of built plans, keyed by content.
 
     ``capacity`` bounds the number of cached plans; inserting beyond it
-    evicts the least-recently-used entry.  ``max_bytes`` additionally
+    evicts one entry chosen by ``policy``.  ``max_bytes`` additionally
     bounds the *byte* footprint: sizes come from the ``size_of`` callable
     (the engine passes a plan-byte estimator covering tiling arrays,
-    values, and lazily-built executor state), and eviction continues from
-    the LRU end until the total fits — always keeping at least one entry,
-    so a single over-budget plan still serves.  Sizes are recomputed on
+    values, and lazily-built executor state), and eviction continues
+    until the total fits — always keeping at least one entry, so a
+    single over-budget plan still serves.  Sizes are recomputed on
     demand because executors grow entries *after* insertion; call
     :meth:`enforce_limits` after such growth.
+
+    ``policy="cost"`` makes eviction cost-aware (see the module
+    docstring); it needs ``cost_of``, a callable mapping a cached plan to
+    its rebuild cost in seconds (the engine passes ``build_seconds``).
+    Without ``cost_of`` the policy silently degrades to LRU.
 
     Keys are opaque hashable tuples (the engine builds them from
     :class:`~repro.serve.fingerprint.MatrixFingerprint` plus device and
@@ -74,16 +107,24 @@ class PlanCache:
     capacity: int = 32
     max_bytes: int | None = None
     size_of: object = None  # callable(plan) -> int, optional
+    policy: str = "lru"  # "lru" | "cost"
+    cost_of: object = None  # callable(plan) -> seconds, for policy="cost"
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     #: structural key -> most recent full key with that structure
     _by_structure: dict = field(default_factory=dict, repr=False)
+    #: per-entry hit counters for the cost-aware policy
+    _meta: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("cache capacity must be >= 1")
         if self.max_bytes is not None and self.max_bytes < 1:
             raise ValueError("cache max_bytes must be >= 1 (or None)")
+        if self.policy not in ("lru", "cost"):
+            raise ValueError(
+                f"cache policy must be 'lru' or 'cost'; got {self.policy!r}"
+            )
 
     # ------------------------------------------------------------------
     def get(self, key: tuple) -> object | None:
@@ -94,6 +135,7 @@ class PlanCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self._meta[key].hits += 1
         return entry
 
     def peek(self, key: tuple) -> object | None:
@@ -116,32 +158,53 @@ class PlanCache:
         return self._entries.get(full_key)
 
     def put(self, key: tuple, plan: object, structural_key: tuple | None = None) -> None:
-        """Insert (or refresh) an entry, evicting LRU beyond the limits."""
+        """Insert (or refresh) an entry, evicting beyond the limits."""
         if key in self._entries:
             self._entries.move_to_end(key)
+        else:
+            self._meta[key] = _EntryMeta(inserted_at=self.stats.requests)
         self._entries[key] = plan
         if structural_key is not None:
             self._by_structure[structural_key] = key
         self.enforce_limits()
 
     def enforce_limits(self) -> None:
-        """Evict LRU entries until both count and byte limits hold.
+        """Evict entries until both count and byte limits hold.
 
         At least one entry always survives: a plan bigger than the whole
         budget would otherwise thrash on every request.
         """
         while len(self._entries) > self.capacity:
-            self._evict_lru()
+            self._evict_one()
         if self.max_bytes is None or self.size_of is None:
             return
         while len(self._entries) > 1 and self.total_bytes() > self.max_bytes:
-            self._evict_lru()
+            self._evict_one()
 
-    def _evict_lru(self) -> None:
-        evicted_key, _ = self._entries.popitem(last=False)
+    def _score(self, key: tuple) -> float:
+        """Cost-aware retention score: rebuild cost × smoothed hit rate.
+
+        ``(hits + 1) / (window + 1)`` smoothing keeps a just-inserted
+        entry at rate 1 (so a fresh expensive plan is not evicted before
+        it could possibly be hit) and decays towards the true per-request
+        hit rate as traffic accumulates.
+        """
+        m = self._meta[key]
+        cost = float(self.cost_of(self._entries[key]))
+        window = max(0, self.stats.requests - m.inserted_at)
+        return cost * (m.hits + 1) / (window + 1)
+
+    def _evict_one(self) -> None:
+        if self.policy == "cost" and self.cost_of is not None:
+            # iterate LRU-first so equal scores fall back to LRU eviction
+            victim = min(self._entries, key=self._score)
+        else:
+            victim = next(iter(self._entries))  # LRU end
+        del self._entries[victim]
+        self._meta.pop(victim, None)
         self.stats.evictions += 1
         # drop dangling structural pointers to the evicted entry
-        stale = [s for s, f in self._by_structure.items() if f == evicted_key]
+        stale = [s for s, f in self._by_structure.items() if f == victim]
         for s in stale:
             del self._by_structure[s]
 
@@ -170,6 +233,7 @@ class PlanCache:
         """Drop all entries (stats are kept; reset via ``reset_stats``)."""
         self._entries.clear()
         self._by_structure.clear()
+        self._meta.clear()
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -2,14 +2,18 @@
 
 :class:`SpMMEngine` fronts repeated ``C = A @ B`` traffic the way a
 production service would: every request is keyed by the *content* of its
-sparse operand, plans are built once and reused from an LRU
-:class:`~repro.serve.cache.PlanCache` (optionally byte-budgeted —
-entries are charged their measured :func:`plan_nbytes`, prepared
-executors included), value-only matrix updates are served by repacking
-values into the cached structural plan, and steady-state multiplies
-replay each plan's compiled executor
+sparse operand, plans are built once and reused from a
+:class:`~repro.serve.cache.PlanCache` (LRU or cost-aware, optionally
+byte-budgeted — entries are charged their measured :func:`plan_nbytes`,
+prepared executors included), value-only matrix updates are served by
+repacking values into the cached structural plan, and steady-state
+multiplies replay each plan's compiled executor
 (:mod:`repro.kernels.executor`), so only the B-dependent work runs per
-request.
+request.  With a :class:`~repro.serve.store.PlanStore` attached
+(``store=``), plans additionally persist across processes: misses
+consult the store before planning, new plans are written back
+atomically, and :meth:`SpMMEngine.warm_start` preloads a fresh worker
+from disk so its first request is already a cache hit.
 
 One engine serves many matrices, devices and configs concurrently — the
 cache key is ``(fingerprint, device, config)``.  Plans are reused across
@@ -47,6 +51,15 @@ def plan_nbytes(plan) -> int:
     return int(estimator()) if callable(estimator) else 0
 
 
+def plan_build_cost(plan) -> float:
+    """Rebuild cost of a cached plan in seconds (cost-aware eviction).
+
+    Duck-typed like :func:`plan_nbytes`; plans without a recorded
+    ``build_seconds`` cost 0 and are therefore evicted first.
+    """
+    return float(getattr(plan, "build_seconds", 0.0) or 0.0)
+
+
 class SpMMEngine:
     """Serve repeated SpMM traffic through a content-addressed plan cache.
 
@@ -66,6 +79,19 @@ class SpMMEngine:
         Optional per-plan budget for executor tile materialisation;
         plans whose dense tiles would exceed it fall back to lazy
         per-chunk decompression (see :mod:`repro.kernels.executor`).
+    store:
+        Optional cross-process persistence: a
+        :class:`~repro.serve.store.PlanStore` (or a directory path, which
+        builds one).  Cache misses consult the store before planning from
+        scratch, and newly built plans are persisted back (best-effort,
+        write-temp-then-rename).  Corrupt store entries are quarantined
+        by the store and served as ordinary misses — the engine's
+        counters and byte accounting stay consistent either way.
+    policy:
+        Eviction policy for the in-memory cache: ``"lru"`` (default) or
+        ``"cost"`` — rank entries by recorded ``build_seconds`` times
+        observed hit rate, so expensive reorder+tile plans survive
+        byte-budget pressure (see :mod:`repro.serve.cache`).
     device, config:
         Defaults applied when a request does not name its own.
     """
@@ -77,10 +103,21 @@ class SpMMEngine:
         config: AccConfig | None = None,
         max_bytes: int | None = None,
         exec_max_bytes: int | None = None,
+        store=None,
+        policy: str = "lru",
     ) -> None:
         self.cache = PlanCache(
-            capacity=capacity, max_bytes=max_bytes, size_of=plan_nbytes
+            capacity=capacity,
+            max_bytes=max_bytes,
+            size_of=plan_nbytes,
+            policy=policy,
+            cost_of=plan_build_cost,
         )
+        if store is not None and not hasattr(store, "get"):
+            from repro.serve.store import PlanStore
+
+            store = PlanStore(root=store)
+        self.store = store
         self.default_device = get_device(device)
         self.default_config = config or AccConfig.paper_default()
         self.exec_max_bytes = exec_max_bytes
@@ -118,20 +155,51 @@ class SpMMEngine:
                     if cached is not None:
                         return cached
                     base = self.cache.peek_structural(structural_key)
-                if base is not None:
+                # resolution order: in-memory structural repack is the
+                # cheapest miss path, then the on-disk store (mmap load,
+                # no replan), then a full build.  Store I/O and plan
+                # builds run outside the engine lock.
+                p = None
+                outcome = "refresh" if base is not None else None
+                if base is None and self.store is not None:
+                    p = self.store.get(fp, spec.name, cfg)  # never raises
+                    outcome = "store" if p is not None else None
+                    if p is not None:
+                        # same policy as value refresh: a previous
+                        # process opting into the reassociating adaptive
+                        # strategy must not silently extend to this one;
+                        # likewise the writer's materialisation budget —
+                        # this engine re-applies its own below
+                        p.tc_plan.meta.pop("exec_mode", None)
+                        p.tc_plan.meta.pop("exec_max_bytes", None)
+                if p is None and base is not None:
                     p = self._refresh_values(base, csr)
-                else:
+                if p is None:
                     p = build_plan(
                         csr, feature_dim=feature_dim, device=spec, config=cfg
                     )
-                    if self.exec_max_bytes is not None:
-                        p.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+                    outcome = "build"
+                if self.exec_max_bytes is not None:
+                    p.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
                 with self._lock:
-                    if base is not None:
-                        self.cache.stats.value_refreshes += 1
+                    stats = self.cache.stats
+                    if outcome == "refresh":
+                        stats.value_refreshes += 1
+                    elif outcome == "store":
+                        stats.store_hits += 1
                     else:
-                        self.cache.stats.plans_built += 1
+                        stats.plans_built += 1
+                        if self.store is not None:
+                            stats.store_misses += 1
                     self.cache.put(key, p, structural_key=structural_key)
+                if outcome == "build" and self.store is not None:
+                    # best-effort persistence (atomic write-then-rename);
+                    # failures are counted on the store, never raised.
+                    # Only full builds are persisted: value refreshes
+                    # under training traffic would write one multi-MB
+                    # entry per weight update, keyed by values digests
+                    # that never recur
+                    self.store.put(fp, spec.name, cfg, p)
                 return p
             finally:
                 with self._lock:
@@ -172,6 +240,54 @@ class SpMMEngine:
             build_seconds=timer.elapsed,
             kernel=base.kernel,
         )
+
+    # ------------------------------------------------------------------
+    def warm_start(self, limit: int | None = None) -> int:
+        """Preload persisted plans into the in-memory cache.
+
+        Selects the most-expensive-to-rebuild entries (bounded by
+        ``limit`` and the cache capacity, so no plan is deserialised
+        just to be evicted) and inserts them *cheapest-first*, leaving
+        the expensive plans at the MRU end — if byte pressure evicts
+        during warm-up, it discards what is cheapest to rebuild.  The
+        hit/miss counters are untouched: warm-start is provisioning,
+        not traffic.  Returns the number of plans inserted; 0 when no
+        store is attached.
+
+        After ``warm_start()``, requests for stored content are pure
+        cache hits: no planning, no store I/O (verifiable via
+        ``stats["plans_built"] == 0``).
+        """
+        if self.store is None:
+            return 0
+        loaded = 0
+        entries = sorted(
+            self.store.entries(), key=lambda e: -e.build_seconds
+        )
+        cap = self.cache.capacity if limit is None else min(
+            limit, self.cache.capacity
+        )
+        for entry in reversed(entries[:cap]):
+            plan_obj = self.store._load(entry.path)
+            if plan_obj is None:
+                continue
+            plan_obj.tc_plan.meta.pop("exec_mode", None)
+            plan_obj.tc_plan.meta.pop("exec_max_bytes", None)
+            if self.exec_max_bytes is not None:
+                plan_obj.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+            # recomputing the fingerprint (rather than trusting the
+            # header) doubles as an integrity check on the mapped arrays
+            fp = fingerprint(plan_obj.csr)
+            key = (fp.full, plan_obj.device.name, plan_obj.config)
+            structural_key = (
+                fp.structural, plan_obj.device.name, plan_obj.config
+            )
+            with self._lock:
+                if key in self.cache:
+                    continue
+                self.cache.put(key, plan_obj, structural_key=structural_key)
+            loaded += 1
+        return loaded
 
     # ------------------------------------------------------------------
     def spmm(
@@ -253,7 +369,10 @@ class SpMMEngine:
         lifetime totals; ``cached_bytes``, ``prepared_*`` and
         ``prep_hits``/``prep_misses`` are *point-in-time* sums over the
         currently cached plans — they shrink when a prepared plan is
-        evicted.
+        evicted.  With a store attached, a ``"store"`` sub-dict reports
+        this process's store traffic (hits/misses/puts/quarantines) —
+        in-memory counters only; use ``engine.store.as_dict()`` for the
+        on-disk entry count and byte footprint (it scans the directory).
         """
         with self._lock:
             plans = self.cache.values()
@@ -264,17 +383,21 @@ class SpMMEngine:
             if (ex := getattr(getattr(p, "tc_plan", None), "exec_cache", None))
             is not None
         ]
-        return {
+        out = {
             **self.cache.stats.as_dict(),
             "cached_plans": len(plans),
             "capacity": self.cache.capacity,
             "cached_bytes": cached_bytes,
             "max_bytes": self.cache.max_bytes,
+            "policy": self.cache.policy,
             "prepared_plans": len(executors),
             "prepared_bytes": sum(ex.nbytes for ex in executors),
             "prep_hits": sum(ex.stats.prep_hits for ex in executors),
             "prep_misses": sum(ex.stats.prep_misses for ex in executors),
         }
+        if self.store is not None:
+            out["store"] = self.store.counters()
+        return out
 
     def clear(self) -> None:
         """Drop every cached plan and reset the counters."""

@@ -12,7 +12,8 @@ expensive structural plan.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 
 from repro.sparse.csr import CSRMatrix
 
@@ -61,3 +62,17 @@ def fingerprint(csr: CSRMatrix) -> MatrixFingerprint:
         structure=_digest(shape_tag, csr.indptr.tobytes(), csr.indices.tobytes()),
         values=_digest(csr.vals.tobytes()),
     )
+
+
+def config_fingerprint(config) -> str:
+    """Stable content hash of a pipeline configuration.
+
+    Keys on-disk store entries alongside the matrix fingerprint and
+    device: two processes running the same :class:`~repro.core.config.
+    AccConfig` values (regardless of object identity) resolve to the
+    same persisted plan.  Any dataclass with JSON-representable fields
+    works; unknown field types are stringified, which keeps the digest
+    stable but treats such fields by their ``repr``.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, default=repr)
+    return _digest(payload.encode())

@@ -1,0 +1,518 @@
+"""Versioned binary serialisation of plans — the persistence format.
+
+The expensive artifact of the Acc-SpMM pipeline is the *plan* (reorder →
+BitTCF → TB schedule); PR 1–2 amortise its cost within one process via
+the in-memory :class:`~repro.serve.cache.PlanCache`.  This module makes
+the plan a durable, cross-process artifact: :func:`plan_to_bytes` /
+:func:`plan_from_bytes` round-trip an :class:`~repro.core.planner.
+AccPlan` bit-for-bit, and :class:`~repro.serve.store.PlanStore` writes
+the same bytes to disk, one file per fingerprint.
+
+Container layout (little-endian throughout)::
+
+    offset 0   magic           8 bytes   b"ACCSPMM\\0"
+    offset 8   format version  u32       PLAN_FORMAT_VERSION
+    offset 12  header length   u64       JSON byte count
+    offset 20  header JSON     utf-8     kind, metadata, array table
+    ...        padding         zeros     up to a 64-byte boundary
+    ...        array payloads  raw       C-order bytes, 64-byte aligned
+
+The header's array table records ``(name, dtype, shape, offset, nbytes)``
+with offsets relative to the start of the data section, so a reader can
+either ``np.frombuffer`` an in-memory blob or ``np.memmap`` the backing
+file — the latter is how the store loads entries, letting every worker
+process share the same physical pages of a hot plan (the same page-cache
+behaviour as ``np.load(..., mmap_mode="r")``, for a multi-array file).
+
+Versioning policy: :data:`PLAN_FORMAT_VERSION` is bumped whenever the
+payload schema changes; readers reject other versions with
+:class:`~repro.errors.StoreVersionError` (the store quarantines such
+entries — replanning is always safe, migration never attempted).
+
+Serialised plans contain **no pickled objects** — only raw arrays and a
+JSON header — so loading untrusted bytes can fail but not execute code.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.config import AccConfig
+from repro.core.planner import AccPlan, kernel_for_config
+from repro.errors import StoreError, StoreVersionError
+from repro.formats.tiling import RowWindowTiling
+from repro.balance.scheduler import TBAssignment
+from repro.gpusim.pipeline import PipelineMode
+from repro.gpusim.specs import get_device
+from repro.kernels.tc_common import TCPlan
+from repro.reorder.base import Permutation, ReorderResult
+from repro.serve.fingerprint import MatrixFingerprint, config_fingerprint
+from repro.sparse.csr import CSRMatrix
+
+#: Bump on any change to the container or payload schema.  Readers accept
+#: exactly this version; the store quarantines everything else.
+PLAN_FORMAT_VERSION = 1
+
+MAGIC = b"ACCSPMM\x00"
+_ALIGN = 64
+_HEAD = struct.Struct("<8sIQ")  # magic, version, header-json length
+
+
+# ----------------------------------------------------------------------
+# container primitives
+# ----------------------------------------------------------------------
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def pack_container(kind: str, meta: dict, arrays: dict) -> bytes:
+    """Assemble one container: JSON header + aligned raw array payloads.
+
+    ``arrays`` maps name -> ndarray; ``None`` values are skipped (their
+    absence is itself information — e.g. a dropped ``scatter_flat``).
+    ``meta`` must be JSON-serialisable.
+    """
+    table = []
+    offset = 0
+    payloads = []
+    for name, arr in arrays.items():
+        if arr is None:
+            continue
+        arr = np.ascontiguousarray(arr)
+        offset = _align(offset)
+        table.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+                "nbytes": int(arr.nbytes),
+            }
+        )
+        payloads.append((offset, arr))
+        offset += arr.nbytes
+    header = json.dumps(
+        {"kind": kind, "meta": meta, "arrays": table},
+        separators=(",", ":"),
+        sort_keys=True,
+    ).encode()
+    data_start = _align(_HEAD.size + len(header))
+    out = io.BytesIO()
+    out.write(_HEAD.pack(MAGIC, PLAN_FORMAT_VERSION, len(header)))
+    out.write(header)
+    out.write(b"\x00" * (data_start - _HEAD.size - len(header)))
+    pos = 0
+    for rel, arr in payloads:
+        if rel != pos:
+            out.write(b"\x00" * (rel - pos))
+            pos = rel
+        out.write(arr.tobytes())
+        pos += arr.nbytes
+    return out.getvalue()
+
+
+def read_header(data: bytes) -> tuple[dict, int]:
+    """Parse and validate a container prefix -> ``(header, data_start)``.
+
+    ``data`` needs to hold at least the fixed head and the JSON header;
+    raises :class:`StoreError` / :class:`StoreVersionError` on anything
+    malformed.
+    """
+    if len(data) < _HEAD.size:
+        raise StoreError("container truncated before the fixed header")
+    magic, version, hlen = _HEAD.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise StoreError(f"bad magic {magic!r}; not a serialised plan")
+    if version != PLAN_FORMAT_VERSION:
+        raise StoreVersionError(
+            f"plan format version {version} unsupported "
+            f"(this build reads {PLAN_FORMAT_VERSION})"
+        )
+    if len(data) < _HEAD.size + hlen:
+        raise StoreError("container truncated inside the JSON header")
+    try:
+        header = json.loads(data[_HEAD.size : _HEAD.size + hlen].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(f"malformed container header: {exc}") from exc
+    if not isinstance(header, dict) or "arrays" not in header:
+        raise StoreError("container header missing the array table")
+    return header, _align(_HEAD.size + hlen)
+
+
+def _normalised_table(header: dict) -> list[dict]:
+    """The header's array table with every field type-checked.
+
+    A header whose JSON parsed but whose table is malformed (wrong
+    nesting, missing keys, bad dtypes) must surface as :class:`StoreError`
+    — the store quarantines on it — never as a stray ``TypeError``.
+    """
+    table = []
+    try:
+        for entry in header["arrays"]:
+            name = str(entry["name"])
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(s) for s in entry["shape"])
+            offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+            if offset < 0 or nbytes < 0 or any(s < 0 for s in shape):
+                raise StoreError(f"array {name!r} has negative sizes")
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if count * dtype.itemsize != nbytes:
+                raise StoreError(f"array {name!r} has inconsistent sizes")
+            table.append(
+                {
+                    "name": name,
+                    "dtype": dtype,
+                    "shape": shape,
+                    "offset": offset,
+                    "nbytes": nbytes,
+                    "count": count,
+                }
+            )
+    except StoreError:
+        raise
+    except Exception as exc:  # wrong nesting/keys/values, unknown dtype
+        raise StoreError(f"malformed array table: {exc!r}") from exc
+    return table
+
+
+def _materialise(entry: dict, buf, data_start: int, path=None):
+    """One normalised-table array, as a frombuffer view or a file memmap."""
+    if entry["count"] == 0:
+        return np.zeros(entry["shape"], dtype=entry["dtype"])
+    lo = data_start + entry["offset"]
+    if path is not None:
+        return np.memmap(
+            path, dtype=entry["dtype"], mode="r",
+            offset=lo, shape=entry["shape"],
+        )
+    if lo + entry["nbytes"] > len(buf):
+        raise StoreError(f"array {entry['name']!r} extends past the payload")
+    return np.frombuffer(
+        buf, dtype=entry["dtype"], count=entry["count"], offset=lo
+    ).reshape(entry["shape"])
+
+
+def read_header_from_file(path) -> tuple[dict, int, int]:
+    """Read and validate a container's header from a file.
+
+    Returns ``(header, data_start, file_size)``; shared by the full
+    loader and the store's header-only directory scan so the prefix
+    parsing (and its bounds checks) exists exactly once.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(0, io.SEEK_END)
+        size = fh.tell()
+        fh.seek(0)
+        prefix = fh.read(_HEAD.size)
+        if len(prefix) < _HEAD.size:
+            raise StoreError("container truncated before the fixed header")
+        magic, _version, hlen = _HEAD.unpack_from(prefix, 0)
+        if magic != MAGIC:
+            raise StoreError(f"bad magic {magic!r}; not a serialised plan")
+        if hlen > size - _HEAD.size:
+            raise StoreError("container truncated inside the JSON header")
+        prefix += fh.read(hlen)
+    header, data_start = read_header(prefix)
+    return header, data_start, size
+
+
+def unpack_container(data: bytes | None = None, path=None) -> tuple[dict, dict]:
+    """Open a container -> ``(header, arrays)``.
+
+    Pass ``data`` for an in-memory blob (arrays are zero-copy frombuffer
+    views) or ``path`` for a file (arrays are read-only ``np.memmap``
+    views, so concurrent workers share pages).
+    """
+    if data is None:
+        header, data_start, size = read_header_from_file(path)
+        arrays = {}
+        for entry in _normalised_table(header):
+            if data_start + entry["offset"] + entry["nbytes"] > size:
+                raise StoreError(
+                    f"array {entry['name']!r} extends past the file"
+                )
+            arrays[entry["name"]] = _materialise(entry, None, data_start, path)
+        return header, arrays
+    header, data_start = read_header(data)
+    arrays = {
+        e["name"]: _materialise(e, data, data_start)
+        for e in _normalised_table(header)
+    }
+    return header, arrays
+
+
+def _jsonable(d: dict) -> dict:
+    """A JSON-round-trippable copy of a metadata dict.
+
+    Numpy scalars become Python numbers; values JSON cannot express are
+    stringified (plan meta is informational, not load-bearing).
+    """
+    out = {}
+    for k, v in d.items():
+        if isinstance(v, (np.integer,)):
+            v = int(v)
+        elif isinstance(v, (np.floating,)):
+            v = float(v)
+        try:
+            json.dumps(v)
+        except (TypeError, ValueError):
+            v = repr(v)
+        out[str(k)] = v
+    return out
+
+
+# ----------------------------------------------------------------------
+# TCPlan payload (shared by all three tensor-core kernels)
+# ----------------------------------------------------------------------
+def _csr_arrays(prefix: str, csr: CSRMatrix, arrays: dict) -> dict:
+    arrays[f"{prefix}.indptr"] = csr.indptr
+    arrays[f"{prefix}.indices"] = csr.indices
+    arrays[f"{prefix}.vals"] = csr.vals
+    return {"n_rows": csr.n_rows, "n_cols": csr.n_cols}
+
+
+def _csr_from(prefix: str, meta: dict, arrays: dict) -> CSRMatrix:
+    return CSRMatrix(
+        n_rows=int(meta["n_rows"]),
+        n_cols=int(meta["n_cols"]),
+        indptr=arrays[f"{prefix}.indptr"],
+        indices=arrays[f"{prefix}.indices"],
+        vals=arrays[f"{prefix}.vals"],
+    )
+
+
+def tcplan_payload(tc: TCPlan, csr: CSRMatrix | None = None) -> tuple[dict, dict]:
+    """``(meta, arrays)`` capturing one :class:`TCPlan` (plus optionally
+    the original CSR, shared with the AccPlan wrapper).
+
+    The reordered matrix is stored only when it is a distinct object from
+    the original (identity reorderings alias it), and a column
+    permutation only when distinct from the row permutation (bilateral
+    orderings alias them) — aliasing is restored on load.
+    """
+    arrays: dict = {}
+    meta: dict = {
+        "name": tc.name,
+        "pipeline_mode": tc.pipeline_mode.name,
+        "cache_policy_control": bool(tc.cache_policy_control),
+        "n_rows_original": int(tc.n_rows_original),
+        "meta": _jsonable(tc.meta),
+    }
+    if csr is not None:
+        meta["csr"] = _csr_arrays("csr", csr, arrays)
+    shared = csr is not None and tc.csr_reordered is csr
+    meta["csr_r_shared"] = shared
+    if not shared:
+        meta["csr_r"] = _csr_arrays("csr_r", tc.csr_reordered, arrays)
+    t = tc.tiling
+    meta["tiling"] = {
+        "n_rows": t.n_rows,
+        "n_cols": t.n_cols,
+        "window_rows": t.window_rows,
+        "block_cols": t.block_cols,
+    }
+    for name in RowWindowTiling.ARRAY_FIELDS:
+        arrays[f"tiling.{name}"] = getattr(t, name)
+    arrays["vals_packed"] = tc.vals_packed
+    arrays["bytes_a_per_block"] = tc.bytes_a_per_block
+    s = tc.schedule
+    meta["schedule"] = {"balanced": bool(s.balanced), "strategy": s.strategy}
+    arrays["schedule.tb_start"] = s.tb_start
+    arrays["schedule.tb_end"] = s.tb_end
+    arrays["schedule.segments_per_tb"] = s.segments_per_tb
+    r = tc.reorder
+    col_is_row = r.col_perm is not None and r.col_perm is r.row_perm
+    meta["reorder"] = {
+        "name": r.name,
+        "meta": _jsonable(r.meta),
+        "col_is_row": col_is_row,
+        "has_col": r.col_perm is not None,
+    }
+    arrays["reorder.row_order"] = r.row_perm.order
+    if r.col_perm is not None and not col_is_row:
+        arrays["reorder.col_order"] = r.col_perm.order
+    return meta, arrays
+
+
+def tcplan_from_payload(
+    meta: dict, arrays: dict, csr: CSRMatrix | None = None
+) -> TCPlan:
+    """Rebuild a :class:`TCPlan` from :func:`tcplan_payload` output."""
+    try:
+        if csr is None and "csr" in meta:
+            csr = _csr_from("csr", meta["csr"], arrays)
+        csr_r = csr if meta["csr_r_shared"] else _csr_from(
+            "csr_r", meta["csr_r"], arrays
+        )
+        tm = meta["tiling"]
+        tiling = RowWindowTiling(
+            n_rows=int(tm["n_rows"]),
+            n_cols=int(tm["n_cols"]),
+            window_rows=int(tm["window_rows"]),
+            block_cols=int(tm["block_cols"]),
+            **{
+                name: np.asarray(arrays[f"tiling.{name}"])
+                for name in RowWindowTiling.ARRAY_FIELDS
+            },
+        )
+        schedule = TBAssignment(
+            tb_start=np.asarray(arrays["schedule.tb_start"]),
+            tb_end=np.asarray(arrays["schedule.tb_end"]),
+            segments_per_tb=np.asarray(arrays["schedule.segments_per_tb"]),
+            balanced=bool(meta["schedule"]["balanced"]),
+            strategy=str(meta["schedule"]["strategy"]),
+        )
+        schedule.validate_against(tiling)
+        rm = meta["reorder"]
+        row_perm = Permutation.from_order(arrays["reorder.row_order"])
+        if rm["col_is_row"]:
+            col_perm: Permutation | None = row_perm
+        elif rm["has_col"]:
+            col_perm = Permutation.from_order(arrays["reorder.col_order"])
+        else:
+            col_perm = None
+        reorder = ReorderResult(
+            name=rm["name"], row_perm=row_perm, col_perm=col_perm,
+            meta=dict(rm["meta"]),
+        )
+        return TCPlan(
+            name=str(meta["name"]),
+            csr_reordered=csr_r,
+            tiling=tiling,
+            vals_packed=np.asarray(arrays["vals_packed"]),
+            schedule=schedule,
+            reorder=reorder,
+            bytes_a_per_block=np.asarray(arrays["bytes_a_per_block"]),
+            pipeline_mode=PipelineMode[meta["pipeline_mode"]],
+            cache_policy_control=bool(meta["cache_policy_control"]),
+            n_rows_original=int(meta["n_rows_original"]),
+            meta=dict(meta["meta"]),
+        )
+    except StoreError:
+        raise
+    except Exception as exc:  # malformed payloads surface uniformly
+        raise StoreError(f"invalid TCPlan payload: {exc}") from exc
+
+
+def tcplan_to_bytes(tc: TCPlan) -> bytes:
+    """Serialise a bare :class:`TCPlan` (any of the three TC kernels)."""
+    meta, arrays = tcplan_payload(tc, csr=None)
+    return pack_container("tcplan", meta, arrays)
+
+
+def tcplan_from_bytes(data: bytes) -> TCPlan:
+    """Inverse of :func:`tcplan_to_bytes`; multiplies bit-for-bit."""
+    header, arrays = unpack_container(data)
+    if header.get("kind") != "tcplan":
+        raise StoreError(f"expected a tcplan container, got {header.get('kind')!r}")
+    return tcplan_from_payload(header["meta"], arrays)
+
+
+# ----------------------------------------------------------------------
+# AccPlan (the store's unit of persistence)
+# ----------------------------------------------------------------------
+def plan_payload(p: AccPlan, include_executor: bool = True) -> tuple[dict, dict]:
+    """``(meta, arrays)`` for a full :class:`AccPlan`.
+
+    The header carries everything the store validates on load without
+    touching the payload: the matrix fingerprint, the config fingerprint
+    and full config dict, the device, dtype/shape metadata (inside the
+    nested payload tables), and the recorded build cost that drives
+    cost-aware admission.  With ``include_executor`` (default), the
+    *structural half* of an already-built prepared executor rides along
+    so a warm-started process skips recomputing gather geometry.
+    """
+    from repro.serve.fingerprint import fingerprint
+
+    meta, arrays = tcplan_payload(p.tc_plan, csr=p.csr)
+    fp = fingerprint(p.csr)
+    top = {
+        "tc": meta,
+        "config": asdict(p.config),
+        "config_fp": config_fingerprint(p.config),
+        "device": p.device.name,
+        "feature_dim": int(p.feature_dim),
+        "build_seconds": float(p.build_seconds),
+        "fingerprint": {
+            "n_rows": fp.n_rows,
+            "n_cols": fp.n_cols,
+            "nnz": fp.nnz,
+            "structure": fp.structure,
+            "values": fp.values,
+        },
+    }
+    ex = p.executor
+    if include_executor and ex is not None:
+        ex_meta, ex_arrays = ex.structural_payload()
+        top["exec"] = ex_meta
+        for name, arr in ex_arrays.items():
+            arrays[f"exec.{name}"] = arr
+    return top, arrays
+
+
+def plan_to_bytes(p: AccPlan, include_executor: bool = True) -> bytes:
+    """Serialise an :class:`AccPlan` to a self-describing container."""
+    meta, arrays = plan_payload(p, include_executor=include_executor)
+    return pack_container("accplan", meta, arrays)
+
+
+def plan_from_payload(meta: dict, arrays: dict) -> AccPlan:
+    """Rebuild an :class:`AccPlan` from :func:`plan_payload` output."""
+    try:
+        cfg = AccConfig(**meta["config"])
+        device = get_device(meta["device"])
+        csr = _csr_from("csr", meta["tc"]["csr"], arrays)
+        tc = tcplan_from_payload(meta["tc"], arrays, csr=csr)
+        if "exec" in meta:
+            tc.exec_structural = (
+                dict(meta["exec"]),
+                {
+                    name[len("exec."):]: arr
+                    for name, arr in arrays.items()
+                    if name.startswith("exec.")
+                },
+            )
+        return AccPlan(
+            csr=csr,
+            config=cfg,
+            device=device,
+            feature_dim=int(meta["feature_dim"]),
+            tc_plan=tc,
+            build_seconds=float(meta["build_seconds"]),
+            kernel=kernel_for_config(cfg),
+        )
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise StoreError(f"invalid AccPlan payload: {exc}") from exc
+
+
+def plan_from_bytes(data: bytes) -> AccPlan:
+    """Inverse of :func:`plan_to_bytes`; multiplies bit-for-bit."""
+    header, arrays = unpack_container(data)
+    if header.get("kind") != "accplan":
+        raise StoreError(
+            f"expected an accplan container, got {header.get('kind')!r}"
+        )
+    return plan_from_payload(header["meta"], arrays)
+
+
+def expected_fingerprint(header: dict) -> MatrixFingerprint:
+    """The matrix fingerprint recorded in an accplan container header."""
+    try:
+        f = header["meta"]["fingerprint"]
+        return MatrixFingerprint(
+            n_rows=int(f["n_rows"]),
+            n_cols=int(f["n_cols"]),
+            nnz=int(f["nnz"]),
+            structure=str(f["structure"]),
+            values=str(f["values"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(f"container header missing fingerprint: {exc}") from exc

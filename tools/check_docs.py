@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (the CI docs job).
+
+Validates, without importing the library:
+
+1. every relative markdown link in ``README.md`` / ``docs/*.md`` points
+   at a file that exists, and every ``#anchor`` fragment matches a
+   heading in the target document (GitHub slug rules);
+2. every repo path mentioned in inline code (``src/...``,
+   ``docs/...``, ``benchmarks/...``, ``examples/...``, ``tests/...``)
+   exists — fenced code blocks are exempt (they show layouts and
+   placeholders, not references);
+3. the module map in ``docs/ARCHITECTURE.md`` names every top-level
+   package under ``src/repro/`` — adding a package without documenting
+   it fails CI.
+
+Run from the repository root: ``python tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+INLINE_CODE_RE = re.compile(r"`([^`\n]+)`")
+PATH_PREFIXES = ("src/", "docs/", "benchmarks/", "examples/", "tests/")
+# inline-code tokens that look like literal repo paths (no globs,
+# placeholders, or shell fragments)
+PATH_TOKEN_RE = re.compile(r"^[A-Za-z0-9_\-./]+$")
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced code blocks (their contents are illustrative)."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in path.read_text().splitlines():
+        m = re.match(r"^(#{1,6})\s+(.*)$", line)
+        if m:
+            anchors.add(slugify(m.group(2)))
+    return anchors
+
+
+def check_links(doc: Path, errors: list[str]) -> None:
+    text = strip_fences(doc.read_text())
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        ref, _, fragment = target.partition("#")
+        base = (doc.parent / ref).resolve() if ref else doc.resolve()
+        if ref and not base.exists():
+            errors.append(f"{doc.relative_to(ROOT)}: dead link -> {target}")
+            continue
+        if fragment and base.suffix == ".md":
+            if fragment not in anchors_of(base):
+                errors.append(
+                    f"{doc.relative_to(ROOT)}: missing anchor -> {target}"
+                )
+
+
+def check_inline_paths(doc: Path, errors: list[str]) -> None:
+    text = strip_fences(doc.read_text())
+    for token in INLINE_CODE_RE.findall(text):
+        if not token.startswith(PATH_PREFIXES):
+            continue
+        if not PATH_TOKEN_RE.match(token):
+            continue  # glob, placeholder, or command fragment
+        if not (ROOT / token).exists():
+            errors.append(
+                f"{doc.relative_to(ROOT)}: missing path -> `{token}`"
+            )
+
+
+def check_module_map(errors: list[str]) -> None:
+    arch = ROOT / "docs" / "ARCHITECTURE.md"
+    if not arch.exists():
+        errors.append("docs/ARCHITECTURE.md is missing")
+        return
+    text = arch.read_text()
+    src = ROOT / "src" / "repro"
+    for pkg in sorted(p.name for p in src.iterdir() if (p / "__init__.py").is_file()):
+        if f"src/repro/{pkg}" not in text:
+            errors.append(
+                f"docs/ARCHITECTURE.md: module map is missing the "
+                f"top-level package `src/repro/{pkg}`"
+            )
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            errors.append(f"expected document missing: {doc.relative_to(ROOT)}")
+            continue
+        check_links(doc, errors)
+        check_inline_paths(doc, errors)
+    check_module_map(errors)
+    if errors:
+        print(f"docs check FAILED ({len(errors)} problem(s)):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(f"docs check OK ({len(DOC_FILES)} files, module map complete)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,13 +42,17 @@ map, and ``docs/SERVING.md`` for plan-cache and store semantics.
 
 from repro.core import AccConfig, AccPlan, plan, spmm, spmm_many
 from repro.serve import (
+    AsyncSpMMEngine,
     CacheStats,
     MatrixFingerprint,
     PlanCache,
+    ShardedSpMMEngine,
     SpMMEngine,
     default_engine,
     fingerprint,
+    install_sharded_default,
     reset_default_engine,
+    set_default_engine,
 )
 
 
@@ -89,12 +93,16 @@ __all__ = [
     "spmm",
     "spmm_many",
     "SpMMEngine",
+    "ShardedSpMMEngine",
+    "AsyncSpMMEngine",
     "PlanCache",
     "PlanStore",
     "CacheStats",
     "MatrixFingerprint",
     "fingerprint",
     "default_engine",
+    "set_default_engine",
+    "install_sharded_default",
     "reset_default_engine",
     "ReproError",
     "ValidationError",

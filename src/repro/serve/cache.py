@@ -19,6 +19,14 @@ Eviction policy is selectable:
   cheapest to rebuild — the admission policy the serving roadmap calls
   for, mirrored on disk by :class:`~repro.serve.store.PlanStore`.
 
+Orthogonally to either policy, ``max_idle_seconds`` adds a TTL /
+staleness bound: entries that have not been requested for that long are
+expired (counted separately from capacity/byte ``evictions``) whenever
+limits are enforced — on every insert and on explicit
+:meth:`PlanCache.enforce_limits` calls.  A matrix that stops arriving
+therefore stops pinning memory, which is the serving roadmap's staleness
+policy; :meth:`~repro.serve.store.PlanStore.gc` mirrors it on disk.
+
 The cache also maintains a structural index so that a *value-only* change
 (same sparsity pattern, new weights — a training loop updating edge
 weights, a solver refreshing coefficients) can be served by repacking the
@@ -28,6 +36,7 @@ scratch; those repacks are counted separately in the stats.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -47,6 +56,9 @@ class CacheStats:
     store_hits: int = 0
     #: misses that consulted the store and found nothing usable
     store_misses: int = 0
+    #: entries expired by the TTL policy (``max_idle_seconds``) — kept
+    #: separate from ``evictions``, which counts capacity/byte pressure
+    expirations: int = 0
 
     @property
     def requests(self) -> int:
@@ -66,6 +78,7 @@ class CacheStats:
             "plans_built": self.plans_built,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
+            "expirations": self.expirations,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -78,6 +91,8 @@ class _EntryMeta:
     #: value of ``stats.requests`` when the entry was inserted — the
     #: denominator of its smoothed hit rate
     inserted_at: int = 0
+    #: ``clock()`` at the last request (or insert) — the TTL signal
+    last_used: float = 0.0
 
 
 @dataclass
@@ -99,6 +114,14 @@ class PlanCache:
     its rebuild cost in seconds (the engine passes ``build_seconds``).
     Without ``cost_of`` the policy silently degrades to LRU.
 
+    ``max_idle_seconds`` expires entries not requested for that long
+    (measured on ``clock``, default ``time.monotonic``; injectable for
+    tests).  Expiry runs inside :meth:`enforce_limits` — i.e. on every
+    insert and on explicit calls — *before* the capacity/byte passes,
+    and unlike those it may empty the cache entirely: an idle entry is
+    dead weight even when it is the only one.  An entry requested since
+    the cutoff is never expired.
+
     Keys are opaque hashable tuples (the engine builds them from
     :class:`~repro.serve.fingerprint.MatrixFingerprint` plus device and
     config); values are whatever plan object the caller stores.
@@ -109,6 +132,8 @@ class PlanCache:
     size_of: object = None  # callable(plan) -> int, optional
     policy: str = "lru"  # "lru" | "cost"
     cost_of: object = None  # callable(plan) -> seconds, for policy="cost"
+    max_idle_seconds: float | None = None  # TTL; None disables expiry
+    clock: object = time.monotonic  # injectable time source for the TTL
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     #: structural key -> most recent full key with that structure
@@ -125,6 +150,8 @@ class PlanCache:
             raise ValueError(
                 f"cache policy must be 'lru' or 'cost'; got {self.policy!r}"
             )
+        if self.max_idle_seconds is not None and self.max_idle_seconds <= 0:
+            raise ValueError("cache max_idle_seconds must be > 0 (or None)")
 
     # ------------------------------------------------------------------
     def get(self, key: tuple) -> object | None:
@@ -135,7 +162,9 @@ class PlanCache:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        self._meta[key].hits += 1
+        meta = self._meta[key]
+        meta.hits += 1
+        meta.last_used = self.clock()
         return entry
 
     def peek(self, key: tuple) -> object | None:
@@ -161,25 +190,46 @@ class PlanCache:
         """Insert (or refresh) an entry, evicting beyond the limits."""
         if key in self._entries:
             self._entries.move_to_end(key)
+            self._meta[key].last_used = self.clock()
         else:
-            self._meta[key] = _EntryMeta(inserted_at=self.stats.requests)
+            self._meta[key] = _EntryMeta(
+                inserted_at=self.stats.requests, last_used=self.clock()
+            )
         self._entries[key] = plan
         if structural_key is not None:
             self._by_structure[structural_key] = key
         self.enforce_limits()
 
     def enforce_limits(self) -> None:
-        """Evict entries until both count and byte limits hold.
+        """Expire idle entries, then evict until count and byte limits hold.
 
-        At least one entry always survives: a plan bigger than the whole
+        The TTL pass runs first (an expired entry should not push a live
+        one out) and may empty the cache.  For the capacity/byte passes
+        at least one entry always survives: a plan bigger than the whole
         budget would otherwise thrash on every request.
         """
+        self.expire_idle()
         while len(self._entries) > self.capacity:
             self._evict_one()
         if self.max_bytes is None or self.size_of is None:
             return
         while len(self._entries) > 1 and self.total_bytes() > self.max_bytes:
             self._evict_one()
+
+    def expire_idle(self) -> int:
+        """Drop entries idle longer than ``max_idle_seconds``; their count.
+
+        A no-op without a TTL.  Never touches an entry requested (or
+        inserted) since the cutoff.
+        """
+        if self.max_idle_seconds is None or not self._entries:
+            return 0
+        cutoff = self.clock() - self.max_idle_seconds
+        stale = [k for k, m in self._meta.items() if m.last_used < cutoff]
+        for key in stale:
+            self._remove(key)
+            self.stats.expirations += 1
+        return len(stale)
 
     def _score(self, key: tuple) -> float:
         """Cost-aware retention score: rebuild cost × smoothed hit rate.
@@ -200,11 +250,14 @@ class PlanCache:
             victim = min(self._entries, key=self._score)
         else:
             victim = next(iter(self._entries))  # LRU end
-        del self._entries[victim]
-        self._meta.pop(victim, None)
+        self._remove(victim)
         self.stats.evictions += 1
-        # drop dangling structural pointers to the evicted entry
-        stale = [s for s, f in self._by_structure.items() if f == victim]
+
+    def _remove(self, key: tuple) -> None:
+        del self._entries[key]
+        self._meta.pop(key, None)
+        # drop dangling structural pointers to the removed entry
+        stale = [s for s, f in self._by_structure.items() if f == key]
         for s in stale:
             del self._by_structure[s]
 

@@ -92,8 +92,22 @@ class SpMMEngine:
         ``"cost"`` — rank entries by recorded ``build_seconds`` times
         observed hit rate, so expensive reorder+tile plans survive
         byte-budget pressure (see :mod:`repro.serve.cache`).
+    max_idle_seconds:
+        Optional TTL for cached plans: entries not requested for this
+        long are expired whenever cache limits are enforced, so a matrix
+        that stops arriving stops pinning memory (counted in
+        ``stats["expirations"]``; see :mod:`repro.serve.cache`).
     device, config:
         Defaults applied when a request does not name its own.
+
+    Thread safety: one engine serves concurrent threads.  Cache state is
+    guarded by one internal lock, held only for dict-sized operations —
+    never across a plan build or a multiply; per-key build locks
+    serialise concurrent misses on the *same* content so exactly one
+    thread builds while same-key requests wait and different-key traffic
+    proceeds.  For many cores, shard engines across
+    :class:`~repro.serve.sharded.ShardedSpMMEngine` so unrelated tenants
+    do not share this lock (see ``docs/CONCURRENCY.md``).
     """
 
     def __init__(
@@ -105,6 +119,7 @@ class SpMMEngine:
         exec_max_bytes: int | None = None,
         store=None,
         policy: str = "lru",
+        max_idle_seconds: float | None = None,
     ) -> None:
         self.cache = PlanCache(
             capacity=capacity,
@@ -112,6 +127,7 @@ class SpMMEngine:
             size_of=plan_nbytes,
             policy=policy,
             cost_of=plan_build_cost,
+            max_idle_seconds=max_idle_seconds,
         )
         if store is not None and not hasattr(store, "get"):
             from repro.serve.store import PlanStore
@@ -132,13 +148,21 @@ class SpMMEngine:
         feature_dim: int = 128,
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
+        fp=None,
     ) -> AccPlan:
         """The cached plan for ``A`` on ``device``/``config`` — built,
-        value-refreshed, or served straight from the cache."""
+        value-refreshed, or served straight from the cache.
+
+        ``fp`` may carry a precomputed
+        :class:`~repro.serve.fingerprint.MatrixFingerprint` of ``A`` so
+        callers that already hashed the matrix — the sharded router, the
+        async facade — do not pay for a second content hash.  It must be
+        the fingerprint of *this* ``A``; no cross-check is performed.
+        """
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         spec = get_device(device) if device is not None else self.default_device
         cfg = config or self.default_config
-        fp = fingerprint(csr)
+        fp = fp if fp is not None else fingerprint(csr)
         key = (fp.full, spec.name, cfg)
         structural_key = (fp.structural, spec.name, cfg)
         with self._lock:
@@ -205,6 +229,27 @@ class SpMMEngine:
                 with self._lock:
                     self._build_locks.pop(key, None)
 
+    def lookup(
+        self,
+        fp,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ) -> AccPlan | None:
+        """Cache-only probe by fingerprint: the plan, or ``None``.
+
+        Count-free: neither outcome touches the hit/miss counters, LRU
+        order, or TTL recency — the follow-up :meth:`spmm`/:meth:`get_plan`
+        that acts on the answer counts the request exactly once.  Never
+        builds, never touches the store: this is the non-blocking fast
+        path the async facade probes before deciding to coalesce a
+        resolution (see :class:`~repro.serve.sharded.AsyncSpMMEngine`).
+        """
+        spec = get_device(device) if device is not None else self.default_device
+        cfg = config or self.default_config
+        key = (fp.full, spec.name, cfg)
+        with self._lock:
+            return self.cache.peek(key)
+
     @staticmethod
     def _refresh_values(base: AccPlan, csr: CSRMatrix) -> AccPlan:
         """New plan for a value-only change: repack values through the
@@ -260,34 +305,53 @@ class SpMMEngine:
         """
         if self.store is None:
             return 0
-        loaded = 0
         entries = sorted(
             self.store.entries(), key=lambda e: -e.build_seconds
         )
         cap = self.cache.capacity if limit is None else min(
             limit, self.cache.capacity
         )
+        return self._warm_from(self.store, entries, cap)
+
+    def _warm_from(self, store, entries, cap: int) -> int:
+        """Load-and-adopt loop shared with the sharded engine's routed
+        warm start: ``entries`` arrive most-expensive-first, the top
+        ``cap`` are inserted cheapest-first (see :meth:`warm_start`)."""
+        loaded = 0
         for entry in reversed(entries[:cap]):
-            plan_obj = self.store._load(entry.path)
+            plan_obj = store._load(entry.path)
             if plan_obj is None:
                 continue
-            plan_obj.tc_plan.meta.pop("exec_mode", None)
-            plan_obj.tc_plan.meta.pop("exec_max_bytes", None)
-            if self.exec_max_bytes is not None:
-                plan_obj.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
-            # recomputing the fingerprint (rather than trusting the
-            # header) doubles as an integrity check on the mapped arrays
-            fp = fingerprint(plan_obj.csr)
-            key = (fp.full, plan_obj.device.name, plan_obj.config)
-            structural_key = (
-                fp.structural, plan_obj.device.name, plan_obj.config
-            )
-            with self._lock:
-                if key in self.cache:
-                    continue
-                self.cache.put(key, plan_obj, structural_key=structural_key)
-            loaded += 1
+            if self._adopt(plan_obj):
+                loaded += 1
         return loaded
+
+    def _adopt(self, plan_obj: AccPlan, fp=None) -> bool:
+        """Insert a store-loaded plan into the cache (warm-start path).
+
+        Applies the same policy scrubbing as a store hit (the writer's
+        ``exec_mode``/``exec_max_bytes`` must not leak into this
+        engine), then inserts under the engine lock.  ``fp`` skips the
+        re-fingerprint when the caller (the sharded router) already
+        hashed the matrix; without it the fingerprint is recomputed,
+        which doubles as an integrity check on the mapped arrays.
+        Returns ``False`` when the content is already cached.
+        """
+        plan_obj.tc_plan.meta.pop("exec_mode", None)
+        plan_obj.tc_plan.meta.pop("exec_max_bytes", None)
+        if self.exec_max_bytes is not None:
+            plan_obj.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+        if fp is None:
+            fp = fingerprint(plan_obj.csr)
+        key = (fp.full, plan_obj.device.name, plan_obj.config)
+        structural_key = (
+            fp.structural, plan_obj.device.name, plan_obj.config
+        )
+        with self._lock:
+            if key in self.cache:
+                return False
+            self.cache.put(key, plan_obj, structural_key=structural_key)
+        return True
 
     # ------------------------------------------------------------------
     def spmm(
@@ -296,12 +360,14 @@ class SpMMEngine:
         B: np.ndarray,
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
+        fp=None,
     ) -> np.ndarray:
         """``C = A @ B`` through the plan cache.
 
         Zero-dimension operands (e.g. an empty mini-batch selection) are
         answered directly — their product is trivially empty and the
-        planner cannot tile them."""
+        planner cannot tile them.  ``fp`` optionally carries ``A``'s
+        precomputed fingerprint (see :meth:`get_plan`)."""
         B = np.asarray(B)  # dtype coercion is AccPlan.multiply's job
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         if csr.n_rows == 0 or csr.n_cols == 0:
@@ -310,7 +376,9 @@ class SpMMEngine:
                     f"B must be ({csr.n_cols}, N); got {B.shape}"
                 )
             return np.zeros((csr.n_rows, B.shape[1]), dtype=np.float32)
-        p = self.get_plan(csr, feature_dim=B.shape[-1], device=device, config=config)
+        p = self.get_plan(
+            csr, feature_dim=B.shape[-1], device=device, config=config, fp=fp
+        )
         was_prepared = self._is_prepared(p, B.shape[-1])
         C = p.multiply(B)
         # only a multiply that built executor state can have grown the
@@ -327,12 +395,14 @@ class SpMMEngine:
         Bs,
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
+        fp=None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` through the plan cache.
 
         ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of 2-D
         matrices; the cached plan's tiles are decompressed once for the
-        whole batch.
+        whole batch.  ``fp`` optionally carries ``A``'s precomputed
+        fingerprint (see :meth:`get_plan`).
         """
         if not isinstance(Bs, np.ndarray):
             Bs = np.stack([np.asarray(b) for b in Bs])
@@ -345,7 +415,9 @@ class SpMMEngine:
             return np.zeros(
                 (Bs.shape[0], csr.n_rows, Bs.shape[2]), dtype=np.float32
             )
-        p = self.get_plan(csr, feature_dim=Bs.shape[-1], device=device, config=config)
+        p = self.get_plan(
+            csr, feature_dim=Bs.shape[-1], device=device, config=config, fp=fp
+        )
         was_prepared = self._is_prepared(p, Bs.shape[-1])
         Cs = p.multiply_many(Bs)
         if not was_prepared:
@@ -414,7 +486,7 @@ _default_engine: SpMMEngine | None = None
 _default_lock = threading.Lock()
 
 
-def default_engine() -> SpMMEngine:
+def default_engine():
     """The lazily-created process-wide engine behind :func:`repro.spmm`.
 
     Byte-budgeted rather than merely slot-bounded: each cached plan pins
@@ -423,7 +495,10 @@ def default_engine() -> SpMMEngine:
     bytes — which lets the slot count be generous for small-matrix
     traffic.  Traffic that wants a bigger working set should build its
     own :class:`SpMMEngine`; one-off multiplications should pass
-    ``use_cache=False``.
+    ``use_cache=False``; multi-tenant threaded traffic can opt the
+    process into a sharded default via :func:`set_default_engine` (e.g.
+    ``set_default_engine(ShardedSpMMEngine(n_shards=4))``, or the
+    :func:`repro.serve.sharded.install_sharded_default` shorthand).
     """
     global _default_engine
     with _default_lock:
@@ -432,8 +507,24 @@ def default_engine() -> SpMMEngine:
         return _default_engine
 
 
+def set_default_engine(engine) -> None:
+    """Install ``engine`` as the process-wide default behind
+    :func:`repro.spmm` (opt-in; e.g. a
+    :class:`~repro.serve.sharded.ShardedSpMMEngine` for multi-tenant
+    threaded traffic).  Any object with the engine interface
+    (``spmm``/``multiply_many``/``stats``/``clear``) works.  Plans
+    cached by the previous default are dropped with it."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = engine
+
+
 def reset_default_engine() -> None:
-    """Discard the process-wide engine (tests; freeing cached plans)."""
+    """Discard the process-wide engine (tests; freeing cached plans).
+
+    The next :func:`default_engine` call lazily recreates the standard
+    single-engine default — including after :func:`set_default_engine`.
+    """
     global _default_engine
     with _default_lock:
         _default_engine = None

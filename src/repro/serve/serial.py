@@ -25,9 +25,15 @@ process share the same physical pages of a hot plan (the same page-cache
 behaviour as ``np.load(..., mmap_mode="r")``, for a multi-array file).
 
 Versioning policy: :data:`PLAN_FORMAT_VERSION` is bumped whenever the
-payload schema changes; readers reject other versions with
-:class:`~repro.errors.StoreVersionError` (the store quarantines such
-entries — replanning is always safe, migration never attempted).
+payload schema changes.  Readers accept the closed range
+[:data:`MIN_PLAN_FORMAT_VERSION`, :data:`PLAN_FORMAT_VERSION`] — older
+versions inside the range load with defaults for fields they predate
+(v1 containers lack the ``saved_at`` timestamp v2 added for the store's
+TTL policy) — and reject everything else with
+:class:`~repro.errors.StoreVersionError`, naming both the found and the
+supported versions (the store quarantines such entries, and the
+``.reason`` sidecar carries that message — replanning is always safe,
+migration never attempted).
 
 Serialised plans contain **no pickled objects** — only raw arrays and a
 JSON header — so loading untrusted bytes can fail but not execute code.
@@ -38,6 +44,7 @@ from __future__ import annotations
 import io
 import json
 import struct
+import time
 from dataclasses import asdict
 
 import numpy as np
@@ -54,9 +61,15 @@ from repro.reorder.base import Permutation, ReorderResult
 from repro.serve.fingerprint import MatrixFingerprint, config_fingerprint
 from repro.sparse.csr import CSRMatrix
 
-#: Bump on any change to the container or payload schema.  Readers accept
-#: exactly this version; the store quarantines everything else.
-PLAN_FORMAT_VERSION = 1
+#: Bump on any change to the container or payload schema.  Writers emit
+#: this version; v2 added the ``saved_at`` wall-clock header field that
+#: feeds the store's TTL/staleness policy.
+PLAN_FORMAT_VERSION = 2
+
+#: Oldest version this build still reads.  Versions in
+#: [MIN_PLAN_FORMAT_VERSION, PLAN_FORMAT_VERSION] load (missing newer
+#: fields default); anything else is rejected and quarantined.
+MIN_PLAN_FORMAT_VERSION = 1
 
 MAGIC = b"ACCSPMM\x00"
 _ALIGN = 64
@@ -128,10 +141,10 @@ def read_header(data: bytes) -> tuple[dict, int]:
     magic, version, hlen = _HEAD.unpack_from(data, 0)
     if magic != MAGIC:
         raise StoreError(f"bad magic {magic!r}; not a serialised plan")
-    if version != PLAN_FORMAT_VERSION:
+    if not MIN_PLAN_FORMAT_VERSION <= version <= PLAN_FORMAT_VERSION:
         raise StoreVersionError(
-            f"plan format version {version} unsupported "
-            f"(this build reads {PLAN_FORMAT_VERSION})"
+            f"found plan format version {version}, expected "
+            f"{MIN_PLAN_FORMAT_VERSION}..{PLAN_FORMAT_VERSION}"
         )
     if len(data) < _HEAD.size + hlen:
         raise StoreError("container truncated inside the JSON header")
@@ -141,6 +154,9 @@ def read_header(data: bytes) -> tuple[dict, int]:
         raise StoreError(f"malformed container header: {exc}") from exc
     if not isinstance(header, dict) or "arrays" not in header:
         raise StoreError("container header missing the array table")
+    # surface the container's own version to callers (the packed header
+    # JSON never carries this key — it lives in the fixed binary head)
+    header["format_version"] = version
     return header, _align(_HEAD.size + hlen)
 
 
@@ -439,6 +455,10 @@ def plan_payload(p: AccPlan, include_executor: bool = True) -> tuple[dict, dict]
         "device": p.device.name,
         "feature_dim": int(p.feature_dim),
         "build_seconds": float(p.build_seconds),
+        # wall-clock serialisation time (format v2): the store's initial
+        # ``last_used`` recency signal for TTL gc, robust against file
+        # copies that reset mtimes.  Absent in v1 containers.
+        "saved_at": float(time.time()),
         "fingerprint": {
             "n_rows": fp.n_rows,
             "n_cols": fp.n_cols,

@@ -1,0 +1,590 @@
+"""Sharded and asynchronous serving engines for multi-tenant traffic.
+
+A single :class:`~repro.serve.engine.SpMMEngine` funnels every tenant
+through one cache lock and one LRU: a burst from one tenant queues the
+others at the lock and can evict their hot plans.  This module scales
+the serving layer out:
+
+* :class:`ShardedSpMMEngine` partitions the plan-cache *keyspace* across
+  N per-shard :class:`~repro.serve.engine.SpMMEngine`\\ s.  Requests are
+  routed by a hash of the matrix's **structural** fingerprint — so a
+  value-only update of a matrix lands on the shard that holds its
+  structural plan and is served by repack, exactly as in the unsharded
+  engine — and each shard has its own lock, LRU order, and byte budget:
+  concurrent tenants touching different matrices almost never contend on
+  a lock, and one tenant's evictions are confined to the shards its
+  matrices hash to.  Results are bit-for-bit identical to the unsharded
+  path (routing changes *where* a plan is cached, never what it
+  computes).
+
+* :class:`AsyncSpMMEngine` is the asyncio facade: ``await
+  engine.multiply(A, B)`` keeps the event loop free while the
+  numpy-bound kernels run on a thread pool, and **coalesces** concurrent
+  misses — M simultaneous first-requests for one matrix dispatch exactly
+  one plan resolution, with the other M-1 awaiting the same future
+  (``stats["async"]["coalesced_waits"]``).
+
+Both track per-tenant request counters when callers tag requests with
+``tenant=``.  ``docs/CONCURRENCY.md`` covers the routing and coalescing
+design, the thread-safety guarantees, and the multi-worker operations
+runbook; ``benchmarks/bench_sharded_engine.py`` measures the throughput
+effect under a 16-thread mixed-tenant workload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures as cf
+import threading
+from functools import partial
+
+import numpy as np
+
+from repro.core.config import AccConfig
+from repro.core.planner import AccPlan
+from repro.gpusim.specs import DeviceSpec, get_device
+from repro.serve.engine import SpMMEngine, set_default_engine
+from repro.serve.fingerprint import MatrixFingerprint, fingerprint
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+
+class ShardedSpMMEngine:
+    """N per-shard engines behind one engine-shaped front.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of per-shard :class:`~repro.serve.engine.SpMMEngine`\\ s.
+        Pick roughly the expected thread concurrency; shards are cheap
+        (a dict and a lock each) so over-provisioning is harmless.
+    capacity, max_bytes:
+        *Totals* across the fleet of shards; each shard gets an even
+        ``1/n_shards`` slice as its own budget, enforced under its own
+        lock.  Heavily skewed routing can therefore evict earlier than
+        one pooled budget would — the price of lock-free-across-shards
+        eviction.
+    store:
+        Shared cross-process persistence: a
+        :class:`~repro.serve.store.PlanStore` used by every shard, or a
+        directory path — which builds one with ``shards=n_shards``
+        directory sharding, the layout a multi-host fleet wants.
+    exec_max_bytes, policy, max_idle_seconds, device, config:
+        Forwarded to every shard engine (see
+        :class:`~repro.serve.engine.SpMMEngine`).
+    tenant:
+        ``spmm``/``multiply_many`` accept an optional ``tenant=`` tag;
+        tagged traffic is counted per tenant in ``stats["tenants"]``.
+
+    Thread safety: fully concurrent.  Routing is stateless, each shard
+    locks independently, and the tenant counters take a dedicated lock
+    only long enough to bump integers.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        capacity: int = 64,
+        device: DeviceSpec | str = "a800",
+        config: AccConfig | None = None,
+        max_bytes: int | None = None,
+        exec_max_bytes: int | None = None,
+        store=None,
+        policy: str = "lru",
+        max_idle_seconds: float | None = None,
+    ) -> None:
+        if not 1 <= int(n_shards) <= 256:
+            raise ValueError(f"n_shards must be in 1..256; got {n_shards}")
+        self.n_shards = int(n_shards)
+        if store is not None and not hasattr(store, "get"):
+            from repro.serve.store import PlanStore
+
+            store = PlanStore(root=store, shards=self.n_shards)
+        self.store = store
+        per_capacity = max(1, -(-int(capacity) // self.n_shards))
+        per_bytes = (
+            None if max_bytes is None
+            else max(1, -(-int(max_bytes) // self.n_shards))
+        )
+        self.shards = [
+            SpMMEngine(
+                capacity=per_capacity,
+                device=device,
+                config=config,
+                max_bytes=per_bytes,
+                exec_max_bytes=exec_max_bytes,
+                store=store,
+                policy=policy,
+                max_idle_seconds=max_idle_seconds,
+            )
+            for _ in range(self.n_shards)
+        ]
+        self._tenants: dict[str, dict] = {}
+        self._tenant_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_index(self, fp: MatrixFingerprint) -> int:
+        """The shard a fingerprint routes to (stable across processes).
+
+        Keyed on the **structural** hash so the full-key plan and any
+        value-refreshed successors of the same sparsity pattern live on
+        one shard — the structural repack path needs them co-resident.
+        """
+        return int(fp.structure[:8], 16) % self.n_shards
+
+    def _shard_for(self, fp: MatrixFingerprint) -> SpMMEngine:
+        return self.shards[self.shard_index(fp)]
+
+    def _note_tenant(self, tenant, field: str) -> None:
+        if tenant is None:
+            return
+        with self._tenant_lock:
+            t = self._tenants.setdefault(
+                str(tenant), {"requests": 0, "batched_requests": 0}
+            )
+            t[field] += 1
+
+    @property
+    def default_device(self):
+        return self.shards[0].default_device
+
+    @property
+    def default_config(self):
+        return self.shards[0].default_config
+
+    # ------------------------------------------------------------------
+    # the engine interface, routed
+    # ------------------------------------------------------------------
+    def spmm(
+        self,
+        A: CSRMatrix | COOMatrix,
+        B: np.ndarray,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        fp: MatrixFingerprint | None = None,
+        tenant=None,
+    ) -> np.ndarray:
+        """``C = A @ B`` through the owning shard's plan cache.
+
+        Bit-for-bit identical to the same request on an unsharded
+        engine.  ``fp`` optionally skips re-fingerprinting (see
+        :meth:`SpMMEngine.get_plan`); ``tenant`` tags the request in the
+        per-tenant stats."""
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        self._note_tenant(tenant, "requests")
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            # trivially empty; shard 0 validates and answers (no plan
+            # is built, so placement is irrelevant)
+            return self.shards[0].spmm(csr, B, device=device, config=config)
+        if fp is None:
+            fp = fingerprint(csr)
+        return self._shard_for(fp).spmm(
+            csr, B, device=device, config=config, fp=fp
+        )
+
+    def multiply_many(
+        self,
+        A: CSRMatrix | COOMatrix,
+        Bs,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        fp: MatrixFingerprint | None = None,
+        tenant=None,
+    ) -> np.ndarray:
+        """Batched ``C[i] = A @ Bs[i]`` through the owning shard."""
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        self._note_tenant(tenant, "requests")
+        self._note_tenant(tenant, "batched_requests")
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            return self.shards[0].multiply_many(
+                csr, Bs, device=device, config=config
+            )
+        if fp is None:
+            fp = fingerprint(csr)
+        return self._shard_for(fp).multiply_many(
+            csr, Bs, device=device, config=config, fp=fp
+        )
+
+    def get_plan(
+        self,
+        A: CSRMatrix | COOMatrix,
+        feature_dim: int = 128,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        fp: MatrixFingerprint | None = None,
+    ) -> AccPlan:
+        """The owning shard's cached (or newly built) plan for ``A``."""
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        if fp is None:
+            fp = fingerprint(csr)
+        return self._shard_for(fp).get_plan(
+            csr, feature_dim=feature_dim, device=device, config=config, fp=fp
+        )
+
+    def lookup(
+        self,
+        fp: MatrixFingerprint,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ) -> AccPlan | None:
+        """Count-free cache probe on the owning shard (see
+        :meth:`SpMMEngine.lookup`)."""
+        return self._shard_for(fp).lookup(fp, device=device, config=config)
+
+    # ------------------------------------------------------------------
+    def _entry_shard(self, entry) -> int | None:
+        """Route a store entry from its *header* fingerprint, before any
+        payload is deserialised; ``None`` when the header is unreadable
+        (the load itself would quarantine such an entry anyway)."""
+        try:
+            structure = entry.meta["fingerprint"]["structure"]
+            return int(str(structure)[:8], 16) % self.n_shards
+        except (TypeError, KeyError, ValueError):
+            return None
+
+    def warm_start(self, limit: int | None = None) -> int:
+        """Preload persisted plans, each into its *owning* shard.
+
+        One pass over the shared store: entries are routed to their
+        shard from the header fingerprint (no payload deserialised for
+        routing), selected most-expensive-to-rebuild first *globally* —
+        ``limit`` (default: the summed shard capacities) is spent on the
+        fleet's priciest plans wherever they hash, subject to each
+        shard's own capacity, so skewed routing never loads a plan just
+        to have per-shard eviction discard it — and each shard inserts
+        its picks cheapest-first, exactly as
+        :meth:`SpMMEngine.warm_start` does.  The adopted placement is
+        re-derived from the actual arrays on insert, so a lying header
+        costs a wasted slot, never a wrong cache key.  Returns the
+        number of plans inserted.
+        """
+        if self.store is None:
+            return 0
+        entries = sorted(self.store.entries(), key=lambda e: -e.build_seconds)
+        remaining = (
+            sum(sh.cache.capacity for sh in self.shards)
+            if limit is None else limit
+        )
+        buckets: list[list] = [[] for _ in range(self.n_shards)]
+        for entry in entries:  # global cost order
+            if remaining <= 0:
+                break
+            idx = self._entry_shard(entry)
+            if idx is None:
+                continue
+            if len(buckets[idx]) >= self.shards[idx].cache.capacity:
+                continue
+            buckets[idx].append(entry)
+            remaining -= 1
+        return sum(
+            shard._warm_from(self.store, bucket, len(bucket))
+            for shard, bucket in zip(self.shards, buckets)
+            if bucket
+        )
+
+    def enforce_limits(self) -> None:
+        """Run every shard's TTL/byte/capacity enforcement (ops cadence
+        hook: steady all-hit traffic never inserts, so idle entries
+        otherwise outlive ``max_idle_seconds`` until the next insert)."""
+        for shard in self.shards:
+            with shard._lock:
+                shard.cache.enforce_limits()
+
+    def clear(self) -> None:
+        """Drop every shard's cached plans and reset all counters."""
+        for shard in self.shards:
+            shard.clear()
+        with self._tenant_lock:
+            self._tenants.clear()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """Fleet-wide counters: sums over shards, plus breakdowns.
+
+        Numeric counters (``hits``, ``misses``, ``plans_built``,
+        ``cached_bytes``, ...) are summed across shards; ``hit_rate`` is
+        recomputed from the sums.  ``per_shard`` holds each shard's own
+        stats dict (the store sub-dict is hoisted to the top level — the
+        store is shared, so per-shard copies would repeat it), and
+        ``tenants`` the per-tenant request counters.
+        """
+        per_shard = [shard.stats for shard in self.shards]
+        agg: dict = {}
+        for s in per_shard:
+            s.pop("store", None)  # shared store: reported once, below
+            for k, v in s.items():
+                if isinstance(v, bool) or not isinstance(v, (int, float)):
+                    continue
+                if k == "hit_rate":
+                    continue
+                agg[k] = agg.get(k, 0) + v
+        if "max_bytes" not in agg:
+            agg["max_bytes"] = None
+        requests = agg.get("requests", 0)
+        agg["hit_rate"] = (
+            round(agg.get("hits", 0) / requests, 4) if requests else 0.0
+        )
+        agg["n_shards"] = self.n_shards
+        agg["policy"] = self.shards[0].cache.policy
+        if self.store is not None:
+            agg["store"] = self.store.counters()
+        with self._tenant_lock:
+            agg["tenants"] = {t: dict(c) for t, c in self._tenants.items()}
+        agg["per_shard"] = per_shard
+        return agg
+
+
+# ----------------------------------------------------------------------
+# the asyncio facade
+# ----------------------------------------------------------------------
+class AsyncSpMMEngine:
+    """``await``-able serving front over a (sharded) engine.
+
+    The numpy-bound work — fingerprinting, plan resolution, the multiply
+    itself — runs on an internal thread pool, so an asyncio server can
+    serve SpMM traffic without blocking its event loop::
+
+        engine = AsyncSpMMEngine(n_shards=4)
+        C = await engine.multiply(A, B, tenant="alice")
+        ...
+        engine.close()
+
+    Concurrent misses on one matrix are **coalesced**: the first request
+    dispatches the plan resolution, the other M-1 await the same future,
+    and exactly one plan is built (asserted in
+    ``tests/test_sharded_engine.py``).  A failed resolution propagates
+    its exception to every coalesced waiter, and the next request starts
+    a fresh attempt.  Cache *hits* are never coalesced — each request
+    counts exactly one hit (the probe that finds the plan is
+    count-free; the execution counts), keeping the cost-aware policy's
+    popularity signal per request.  A resolved miss contributes the
+    resolution's miss plus its own execution hit to the cache counters.
+
+    Parameters: pass a ready ``engine`` (any
+    :class:`~repro.serve.engine.SpMMEngine`-shaped object), or keyword
+    arguments to build a :class:`ShardedSpMMEngine` — e.g.
+    ``AsyncSpMMEngine(n_shards=8, store="/var/cache/accspmm")``.
+    ``max_workers`` sizes the thread pool (default: Python's
+    ``ThreadPoolExecutor`` heuristic).
+
+    The event-loop thread only ever takes dict-sized locks
+    (coalescing map, shard routing, tenant counters) — all blocking work
+    is on the pool.  One instance serves one event loop at a time;
+    worker threads themselves are loop-agnostic.
+    """
+
+    def __init__(self, engine=None, max_workers: int | None = None, **kwargs):
+        if engine is None:
+            engine = ShardedSpMMEngine(**kwargs)
+        elif kwargs:
+            raise TypeError(
+                "pass either a ready engine or ShardedSpMMEngine kwargs, "
+                f"not both (got engine and {sorted(kwargs)})"
+            )
+        self.engine = engine
+        self._pool = cf.ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="accspmm-async"
+        )
+        self._lock = threading.Lock()
+        #: plan key -> in-flight plan resolution (the coalescing map)
+        self._inflight: dict[tuple, cf.Future] = {}
+        self._requests = 0
+        self._resolutions = 0
+        self._coalesced_waits = 0
+        self._tenants: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    def _resolve_key(self, fp, device, config) -> tuple:
+        spec = (
+            get_device(device) if device is not None
+            else self.engine.default_device
+        )
+        cfg = config or self.engine.default_config
+        return (fp.full, spec.name, cfg)
+
+    def _note(self, tenant, field: str) -> None:
+        with self._lock:
+            if field == "requests":
+                self._requests += 1
+            elif field == "coalesced_waits":
+                self._coalesced_waits += 1
+            elif field == "resolutions":
+                self._resolutions += 1
+            if tenant is not None:
+                t = self._tenants.setdefault(
+                    str(tenant),
+                    {"requests": 0, "resolutions": 0, "coalesced_waits": 0},
+                )
+                t[field] += 1
+
+    async def _ensure_plan(
+        self, csr, feature_dim, device, config, fp, tenant
+    ) -> None:
+        """Resolve a missing plan exactly once per key, however many
+        requests arrive while it is in flight."""
+        key = self._resolve_key(fp, device, config)
+        with self._lock:
+            fut = self._inflight.get(key)
+            owner = fut is None
+            if owner:
+                fut = cf.Future()
+                # mark RUNNING so no waiter can cancel() the shared
+                # future: a timed-out waiter (asyncio.wait_for) must
+                # cancel only itself, not poison the other coalesced
+                # waiters or the resolver's set_result
+                fut.set_running_or_notify_cancel()
+                self._inflight[key] = fut
+        if owner:
+            self._note(tenant, "resolutions")
+            self._pool.submit(
+                self._run_resolution, key, fut, csr, feature_dim, device,
+                config, fp,
+            )
+        else:
+            self._note(tenant, "coalesced_waits")
+        await asyncio.wrap_future(fut)
+
+    def _run_resolution(
+        self, key, fut, csr, feature_dim, device, config, fp
+    ) -> None:
+        """Worker-thread half of the coalescing protocol."""
+        try:
+            result = self.engine.get_plan(
+                csr, feature_dim=feature_dim, device=device, config=config,
+                fp=fp,
+            )
+            exc = None
+        except BaseException as e:  # noqa: BLE001 - delivered to waiters
+            result, exc = None, e
+        try:
+            if exc is None:
+                fut.set_result(result)
+            else:
+                fut.set_exception(exc)
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    # ------------------------------------------------------------------
+    async def multiply(
+        self,
+        A: CSRMatrix | COOMatrix,
+        B: np.ndarray,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        tenant=None,
+    ) -> np.ndarray:
+        """``C = A @ B`` without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        B = np.asarray(B)
+        self._note(tenant, "requests")
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            # trivial answer; engine.spmm validates without planning
+            return self.engine.spmm(csr, B, device=device, config=config)
+        fp = await loop.run_in_executor(self._pool, fingerprint, csr)
+        if self.engine.lookup(fp, device=device, config=config) is None:
+            await self._ensure_plan(
+                csr, B.shape[-1], device, config, fp, tenant
+            )
+        return await loop.run_in_executor(
+            self._pool,
+            partial(
+                self.engine.spmm, csr, B, device=device, config=config, fp=fp
+            ),
+        )
+
+    async def multiply_many(
+        self,
+        A: CSRMatrix | COOMatrix,
+        Bs,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        tenant=None,
+    ) -> np.ndarray:
+        """Batched ``C[i] = A @ Bs[i]`` without blocking the event loop."""
+        loop = asyncio.get_running_loop()
+        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+        if not isinstance(Bs, np.ndarray):
+            Bs = np.stack([np.asarray(b) for b in Bs])
+        self._note(tenant, "requests")
+        if csr.n_rows == 0 or csr.n_cols == 0:
+            return self.engine.multiply_many(
+                csr, Bs, device=device, config=config
+            )
+        fp = await loop.run_in_executor(self._pool, fingerprint, csr)
+        if self.engine.lookup(fp, device=device, config=config) is None:
+            await self._ensure_plan(
+                csr, Bs.shape[-1], device, config, fp, tenant
+            )
+        return await loop.run_in_executor(
+            self._pool,
+            partial(
+                self.engine.multiply_many, csr, Bs, device=device,
+                config=config, fp=fp,
+            ),
+        )
+
+    async def warm_start(self, limit: int | None = None) -> int:
+        """Preload persisted plans on the pool (see
+        :meth:`SpMMEngine.warm_start`)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self.engine.warm_start, limit
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> dict:
+        """The wrapped engine's stats plus an ``"async"`` sub-dict:
+        request/resolution/coalescing counters, the current in-flight
+        count, and per-tenant breakdowns for tagged traffic."""
+        out = self.engine.stats
+        with self._lock:
+            out["async"] = {
+                "requests": self._requests,
+                "resolutions": self._resolutions,
+                "coalesced_waits": self._coalesced_waits,
+                "inflight": len(self._inflight),
+                "tenants": {t: dict(c) for t, c in self._tenants.items()},
+            }
+        return out
+
+    def clear(self) -> None:
+        """Clear the wrapped engine and the async counters (not a
+        shutdown — the pool keeps serving)."""
+        self.engine.clear()
+        with self._lock:
+            self._requests = 0
+            self._resolutions = 0
+            self._coalesced_waits = 0
+            self._tenants.clear()
+
+    def close(self) -> None:
+        """Shut the thread pool down (blocks until workers drain).
+
+        Call from synchronous teardown, or after the loop is done
+        serving; pending ``multiply`` awaitables finish first."""
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncSpMMEngine":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()
+
+
+def install_sharded_default(n_shards: int = 4, **kwargs) -> ShardedSpMMEngine:
+    """Opt the process-wide :func:`repro.spmm` default into sharding.
+
+    Builds a :class:`ShardedSpMMEngine` (kwargs as its constructor) and
+    installs it via :func:`~repro.serve.engine.set_default_engine`;
+    returns it so the caller can read ``stats`` or ``warm_start()``.
+    Undo with :func:`repro.reset_default_engine`."""
+    engine = ShardedSpMMEngine(n_shards=n_shards, **kwargs)
+    set_default_engine(engine)
+    return engine

@@ -29,10 +29,22 @@ Guarantees:
   ``admit_min_seconds``, and :meth:`gc` evicts cheapest-first (breaking
   ties towards least-recently-used mtimes) until ``max_bytes`` holds, so
   expensive reorder+tile plans survive byte-budget pressure.
+* **TTL / staleness** — entries carry a ``last_used`` recency signal
+  (the newer of the file mtime, refreshed on every successful load, and
+  the ``saved_at`` wall clock persisted in the v2 container header);
+  :meth:`gc` with ``max_idle_seconds`` drops entries whose matrices have
+  stopped arriving, and never one used since the cutoff.
+* **Directory sharding** — with ``shards=N`` entries are spread across
+  ``shard-00/…shard-NN/`` subdirectories (addressed by digest, so every
+  worker agrees), keeping per-directory entry counts and rename traffic
+  low when many hosts serve from one shared tree.  Maintenance
+  (``entries``/``gc``/``inspect``) always scans both layouts, so a tree
+  can be inspected or migrated regardless of the opener's shard count.
 
 CLI (``python -m repro.serve.store --help``): ``inspect`` lists entries,
 ``prewarm`` builds and persists plans for named datasets ahead of
-serving, ``gc`` applies a byte budget and clears the quarantine.
+serving, ``gc`` applies byte and idle-time budgets and clears the
+quarantine.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import argparse
 import os
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -110,6 +123,20 @@ class StoreEntry:
             return 0.0
         return float(self.meta.get("build_seconds", 0.0))
 
+    @property
+    def last_used(self) -> float:
+        """Recency signal for TTL gc: the newer of the file mtime
+        (refreshed on every successful load) and the ``saved_at`` wall
+        clock persisted in the v2 header (robust against tree copies
+        that reset mtimes; absent — 0 — in v1 containers)."""
+        saved_at = 0.0
+        if self.meta is not None:
+            try:
+                saved_at = float(self.meta.get("saved_at", 0.0))
+            except (TypeError, ValueError):
+                saved_at = 0.0
+        return max(self.mtime, saved_at)
+
 
 class PlanStore:
     """A directory of serialised plans, one file per fingerprint.
@@ -131,6 +158,23 @@ class PlanStore:
         concurrent workers share pages; ``False`` reads entries fully
         into memory (use when the store directory may be deleted while
         loaded plans are still serving).
+    shards:
+        Optional directory sharding: entries are spread across
+        ``shard-00/…`` subdirectories addressed by digest, so many hosts
+        writing one shared tree do not contend on a single directory's
+        rename traffic.  Every opener of a tree must use the same shard
+        count for :meth:`get`/:meth:`put` to resolve the same paths
+        (maintenance scans both layouts regardless).  ``None`` keeps the
+        flat single-directory layout.
+    max_idle_seconds:
+        Optional TTL: :meth:`gc` (run after every :meth:`put` when any
+        budget is configured) drops entries idle longer than this —
+        idleness measured on :attr:`StoreEntry.last_used`, so an entry
+        loaded (or written) since the cutoff is never dropped.
+
+    All methods are safe to call from concurrent threads: the filesystem
+    operations are atomic (write-temp-then-rename) and the in-process
+    counters are lock-protected.
     """
 
     SUFFIX = ".plan"
@@ -144,12 +188,26 @@ class PlanStore:
         max_bytes: int | None = None,
         admit_min_seconds: float = 0.0,
         mmap: bool = True,
+        shards: int | None = None,
+        max_idle_seconds: float | None = None,
     ) -> None:
+        if shards is not None and not 1 <= int(shards) <= 4096:
+            raise ValueError(f"store shards must be in 1..4096; got {shards}")
+        if max_idle_seconds is not None and max_idle_seconds <= 0:
+            raise ValueError("store max_idle_seconds must be > 0 (or None)")
         self.root = Path(root) if root is not None else default_store_root()
         self.max_bytes = max_bytes
         self.admit_min_seconds = float(admit_min_seconds)
         self.mmap = mmap
+        self.shards = int(shards) if shards is not None else None
+        self.max_idle_seconds = max_idle_seconds
         self.stats = StoreStats()
+        self._stats_lock = threading.Lock()
+
+    def _count(self, counter: str, n: int = 1) -> None:
+        """Bump a stats counter exactly (``+=`` alone is not atomic)."""
+        with self._stats_lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + n)
 
     # ------------------------------------------------------------------
     # keys and paths
@@ -172,8 +230,29 @@ class PlanStore:
         )
         return _digest(tag.encode())
 
+    def _dir_for(self, digest: str) -> Path:
+        """The directory an entry lives in (a ``shard-NN/`` when sharded).
+
+        Addressed by digest so every worker — on any host — agrees on
+        the placement without coordination."""
+        if self.shards is None:
+            return self.root
+        index = int(digest[:8], 16) % self.shards
+        return self.root / f"shard-{index:02d}"
+
     def path_for(self, digest: str) -> Path:
-        return self.root / f"{digest}{self.SUFFIX}"
+        return self._dir_for(digest) / f"{digest}{self.SUFFIX}"
+
+    def _entry_dirs(self) -> list[Path]:
+        """Every directory that may hold entries: the flat root plus any
+        ``shard-*/`` subdirectories that exist on disk — *not* just the
+        configured layout, so maintenance sees a mixed or foreign tree."""
+        dirs = [self.root] if self.root.is_dir() else []
+        if self.root.is_dir():
+            dirs += sorted(
+                p for p in self.root.glob("shard-*") if p.is_dir()
+            )
+        return dirs
 
     @property
     def quarantine_dir(self) -> Path:
@@ -192,9 +271,9 @@ class PlanStore:
         path = self.path_for(self.digest(fp, device, config))
         plan = self._load(path, expect_fp=fp)
         if plan is None:
-            self.stats.misses += 1
+            self._count("misses")
             return None
-        self.stats.hits += 1
+        self._count("hits")
         return plan
 
     def _load(self, path: Path, expect_fp: MatrixFingerprint | None = None):
@@ -246,7 +325,7 @@ class PlanStore:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
-        self.stats.quarantined += 1
+        self._count("quarantined")
 
     # ------------------------------------------------------------------
     # write path
@@ -258,14 +337,16 @@ class PlanStore:
         the serving path never depends on persistence succeeding.
         """
         if plan.build_seconds < self.admit_min_seconds:
-            self.stats.rejected_puts += 1
+            self._count("rejected_puts")
             return False
         try:
             data = plan.to_bytes()
-            self.root.mkdir(parents=True, exist_ok=True)
             path = self.path_for(self.digest(fp, device, config))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # temp file in the *entry's own* directory: os.replace stays
+            # same-directory (atomic, no cross-shard rename traffic)
             fd, tmp = tempfile.mkstemp(
-                dir=self.root, prefix=".tmp-", suffix=self.SUFFIX
+                dir=path.parent, prefix=".tmp-", suffix=self.SUFFIX
             )
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -280,10 +361,10 @@ class PlanStore:
                     pass
                 raise
         except (OSError, StoreError):
-            self.stats.put_errors += 1
+            self._count("put_errors")
             return False
-        self.stats.puts += 1
-        if self.max_bytes is not None:
+        self._count("puts")
+        if self.max_bytes is not None or self.max_idle_seconds is not None:
             self.gc(self.max_bytes)
         return True
 
@@ -295,9 +376,12 @@ class PlanStore:
         from repro.serve import serial
 
         out = []
-        if not self.root.is_dir():
-            return out
-        for path in sorted(self.root.glob(f"*{self.SUFFIX}")):
+        paths = sorted(
+            path
+            for d in self._entry_dirs()
+            for path in d.glob(f"*{self.SUFFIX}")
+        )
+        for path in paths:
             if path.name.startswith(".tmp-"):
                 continue
             try:
@@ -323,40 +407,87 @@ class PlanStore:
     def total_bytes(self) -> int:
         return sum(e.nbytes for e in self.entries())
 
-    def gc(self, max_bytes: int | None = None) -> list[StoreEntry]:
-        """Evict entries until the store fits ``max_bytes``; returns them.
+    def gc(
+        self,
+        max_bytes: int | None = None,
+        max_idle_seconds: float | None = None,
+        now: float | None = None,
+    ) -> list[StoreEntry]:
+        """Drop stale entries, then evict down to ``max_bytes``; returns
+        everything removed.
 
-        Cost-aware: candidates are ranked by recorded ``build_seconds``
-        ascending (cheapest to rebuild goes first), ties — and unreadable
-        headers, which rank cheapest — broken towards the oldest mtime.
-        ``None`` falls back to the store's configured budget; with no
-        budget at all, gc only removes leftover temp files.
+        Two passes over one directory scan:
+
+        1. **TTL** — entries whose :attr:`StoreEntry.last_used` is older
+           than ``max_idle_seconds`` (their matrices stopped arriving)
+           are dropped regardless of the byte budget.  An entry loaded
+           or written since the cutoff is never touched by this pass.
+        2. **Byte budget** — cost-aware: survivors are ranked by recorded
+           ``build_seconds`` ascending (cheapest to rebuild goes first),
+           ties — and unreadable headers, which rank cheapest — broken
+           towards the oldest ``last_used``.
+
+        ``None`` arguments fall back to the store's configured budgets;
+        with neither budget, gc only removes leftover temp files.
+        ``now`` overrides the TTL reference time (tests).
         """
         budget = self.max_bytes if max_bytes is None else max_bytes
+        max_idle = (
+            self.max_idle_seconds if max_idle_seconds is None
+            else max_idle_seconds
+        )
+        now = time.time() if now is None else now
         # reap temp files from *crashed* writers only: an age threshold
         # keeps gc (possibly run by another worker's put) from deleting
         # a temp file a live writer is between mkstemp and os.replace on
         cutoff = time.time() - self.TMP_REAP_SECONDS
-        for tmp in self.root.glob(f".tmp-*{self.SUFFIX}"):
-            try:
-                if tmp.stat().st_mtime < cutoff:
-                    tmp.unlink()
-            except OSError:
-                pass
-        if budget is None:
+        for d in self._entry_dirs():
+            for tmp in d.glob(f".tmp-*{self.SUFFIX}"):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink()
+                except OSError:
+                    pass
+        if budget is None and max_idle is None:
             return []
         entries = self.entries()
-        total = sum(e.nbytes for e in entries)
         evicted: list[StoreEntry] = []
-        for entry in sorted(entries, key=lambda e: (e.build_seconds, e.mtime)):
-            if total <= budget:
-                break
-            try:
-                entry.path.unlink()
-            except OSError:
-                continue
-            total -= entry.nbytes
-            evicted.append(entry)
+        if max_idle is not None:
+            idle_cutoff = now - max_idle
+            fresh = []
+            for entry in entries:
+                if entry.last_used >= idle_cutoff:
+                    fresh.append(entry)
+                    continue
+                try:
+                    entry.path.unlink()
+                except FileNotFoundError:
+                    continue  # a concurrent gc got it first; not ours
+                except OSError:
+                    fresh.append(entry)  # undeletable but still present
+                    continue
+                evicted.append(entry)
+            entries = fresh
+        if budget is not None:
+            total = sum(e.nbytes for e in entries)
+            for entry in sorted(
+                entries, key=lambda e: (e.build_seconds, e.last_used)
+            ):
+                if total <= budget:
+                    break
+                try:
+                    entry.path.unlink()
+                except FileNotFoundError:
+                    # gone already (concurrent gc/quarantine): its bytes
+                    # no longer occupy the tree, so they must leave the
+                    # running total — or live entries get evicted to
+                    # make room for a ghost
+                    total -= entry.nbytes
+                    continue
+                except OSError:
+                    continue
+                total -= entry.nbytes
+                evicted.append(entry)
         return evicted
 
     def clear_quarantine(self) -> int:
@@ -381,6 +512,8 @@ class PlanStore:
         return {
             "root": str(self.root),
             "max_bytes": self.max_bytes,
+            "max_idle_seconds": self.max_idle_seconds,
+            "shards": self.shards,
             **self.stats.as_dict(),
         }
 
@@ -400,6 +533,8 @@ class PlanStore:
             "entries": len(entries),
             "stored_bytes": sum(e.nbytes for e in entries),
             "max_bytes": self.max_bytes,
+            "max_idle_seconds": self.max_idle_seconds,
+            "shards": self.shards,
             "quarantined_files": quarantined_files,
             **self.stats.as_dict(),
         }
@@ -458,7 +593,7 @@ def _cmd_prewarm(store: PlanStore, args) -> int:
 
 
 def _cmd_gc(store: PlanStore, args) -> int:
-    evicted = store.gc(args.max_bytes)
+    evicted = store.gc(args.max_bytes, max_idle_seconds=args.max_idle_seconds)
     for e in evicted:
         print(f"evicted {e.digest[:12]} ({e.nbytes} bytes, "
               f"build={e.build_seconds:.3f}s)")
@@ -482,6 +617,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=f"store directory (default: ${STORE_ENV} or ~/.cache/accspmm/plans)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "directory shard count (shard-00/..); must match the serving "
+            "fleet's setting for prewarm to write where workers read"
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("inspect", help="list entries with cost and size")
@@ -503,8 +647,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="also compile the executor so its structural state is stored",
     )
 
-    gc = sub.add_parser("gc", help="apply a byte budget, drop temp files")
+    gc = sub.add_parser(
+        "gc", help="apply byte/idle-time budgets, drop temp files"
+    )
     gc.add_argument("--max-bytes", type=int, default=None)
+    gc.add_argument(
+        "--max-idle-seconds",
+        type=float,
+        default=None,
+        help="drop entries not loaded or written for this long (TTL)",
+    )
     gc.add_argument(
         "--clear-quarantine",
         action="store_true",
@@ -515,7 +667,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    store = PlanStore(root=args.root)
+    store = PlanStore(root=args.root, shards=args.shards)
     if args.command == "inspect":
         return _cmd_inspect(store, args)
     if args.command == "prewarm":

@@ -14,6 +14,16 @@ Validates, without importing the library:
    package under ``src/repro/`` — adding a package without documenting
    it fails CI.
 
+And, when the library is importable (numpy present — CI installs it
+before this check):
+
+4. every public class/function/attribute named in the serving docs
+   (``docs/SERVING.md``, ``docs/CONCURRENCY.md``) actually resolves via
+   import — inline-code tokens such as ``repro.serve.store.PlanStore``
+   or ``ShardedSpMMEngine.warm_start`` are resolved module-by-module and
+   attribute-by-attribute, catching the API drift the link checker
+   cannot see.  Without numpy the check is skipped with a notice.
+
 Run from the repository root: ``python tools/check_docs.py``.
 """
 
@@ -25,6 +35,20 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+#: documents whose inline-code API names must resolve via import
+API_DOC_FILES = [ROOT / "docs" / "SERVING.md", ROOT / "docs" / "CONCURRENCY.md"]
+#: modules bare CamelCase names (and ALL_CAPS constants) resolve against
+API_NAMESPACES = [
+    "repro",
+    "repro.serve",
+    "repro.serve.cache",
+    "repro.serve.engine",
+    "repro.serve.serial",
+    "repro.serve.sharded",
+    "repro.serve.store",
+    "repro.errors",
+    "repro.kernels.executor",
+]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 INLINE_CODE_RE = re.compile(r"`([^`\n]+)`")
@@ -93,6 +117,90 @@ def check_inline_paths(doc: Path, errors: list[str]) -> None:
             )
 
 
+#: inline-code tokens that plausibly name python API: a dotted chain of
+#: identifiers, optionally ending in a call — ``PlanStore(...)`` or
+#: ``engine.warm_start()``
+API_TOKEN_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)(\(.*\))?$")
+
+
+def _resolves(chain: list[str]) -> bool:
+    """Resolve ``chain`` (e.g. ``["PlanCache", "enforce_limits"]``) left
+    to right: the head against :data:`API_NAMESPACES` (or as a module
+    path when it starts with ``repro``), the rest as attributes —
+    accepting dataclass fields, which are not class attributes."""
+    import dataclasses
+    import importlib
+
+    heads: list[object] = []
+    if chain[0] == "repro":
+        # longest importable module prefix, then attributes
+        obj = importlib.import_module("repro")
+        i = 1
+        while i < len(chain):
+            try:
+                obj = importlib.import_module(".".join(chain[: i + 1]))
+                i += 1
+            except ImportError:
+                break
+        heads, chain = [obj], chain[i:]
+    else:
+        for mod_name in API_NAMESPACES:
+            mod = importlib.import_module(mod_name)
+            if hasattr(mod, chain[0]):
+                heads.append(getattr(mod, chain[0]))
+        if not heads:
+            return False
+        chain = chain[1:]
+    for head in heads:
+        obj, ok = head, True
+        for part in chain:
+            if hasattr(obj, part):
+                obj = getattr(obj, part)
+            elif dataclasses.is_dataclass(obj) and part in {
+                f.name for f in dataclasses.fields(obj)
+            }:
+                ok = True  # a field without a default: real API, no attr
+                obj = object()  # cannot chain deeper than a plain field
+            else:
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_api_references(doc: Path, errors: list[str]) -> None:
+    """Every python-looking inline-code token must resolve via import.
+
+    Only names that *look like* API are checked: bare CamelCase /
+    ALL_CAPS heads (``SpMMEngine``, ``PLAN_FORMAT_VERSION``) or chains
+    rooted at ``repro`` — lowercase heads (``engine.stats``, shell
+    fragments, filenames) are illustrative, not contractual.
+    """
+    text = strip_fences(doc.read_text())
+    seen: set[str] = set()
+    for token in INLINE_CODE_RE.findall(text):
+        m = API_TOKEN_RE.match(token)
+        if not m:
+            continue
+        dotted = m.group(1)
+        head = dotted.split(".")[0]
+        if head in ("None", "True", "False", "Exception"):
+            continue  # python literals look CamelCase but are not API
+        camel_case = re.match(r"^[A-Z][A-Za-z0-9]*[a-z]", head)
+        shouty_const = "_" in head and head.isupper()
+        if head != "repro" and not camel_case and not shouty_const:
+            continue  # lowercase chains, acronyms, placeholders: prose
+        if dotted in seen:
+            continue
+        seen.add(dotted)
+        if not _resolves(dotted.split(".")):
+            errors.append(
+                f"{doc.relative_to(ROOT)}: API reference `{token}` does "
+                f"not resolve via import"
+            )
+
+
 def check_module_map(errors: list[str]) -> None:
     arch = ROOT / "docs" / "ARCHITECTURE.md"
     if not arch.exists():
@@ -117,12 +225,26 @@ def main() -> int:
         check_links(doc, errors)
         check_inline_paths(doc, errors)
     check_module_map(errors)
+    api_note = "API refs skipped (library not importable)"
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        import repro  # noqa: F401 - needs numpy; CI installs it first
+    except ImportError as exc:
+        api_note = f"API refs skipped ({exc})"
+    else:
+        for doc in API_DOC_FILES:
+            if doc.exists():
+                check_api_references(doc, errors)
+        api_note = "API refs resolve"
     if errors:
         print(f"docs check FAILED ({len(errors)} problem(s)):")
         for err in errors:
             print(f"  - {err}")
         return 1
-    print(f"docs check OK ({len(DOC_FILES)} files, module map complete)")
+    print(
+        f"docs check OK ({len(DOC_FILES)} files, module map complete, "
+        f"{api_note})"
+    )
     return 0
 
 

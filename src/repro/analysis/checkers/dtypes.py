@@ -1,0 +1,81 @@
+"""REP401 — dtype discipline in kernel and format hot paths.
+
+The executor's bit-for-bit contract (fp32 accumulation in the exact
+order `np.add.reduceat` would use, TF32-rounded operands) only holds if
+every allocation in the numeric path pins its dtype.  A bare
+``np.zeros(n)`` silently allocates float64; a bare ``np.array([...])``
+of ints infers a platform-dependent integer width; ``np.arange(n)``
+likewise.  Any of these flowing into a kernel buffer changes either the
+numerics or the serialised plan bytes between platforms.
+
+Allocation calls in ``repro/kernels/`` and ``repro/formats/`` must
+therefore pass an explicit ``dtype=``.  The ``*_like`` constructors and
+``np.asarray`` are exempt — they preserve their input's dtype, which is
+exactly the deterministic behaviour wanted when re-wrapping an already
+typed array.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    dotted_name,
+    register,
+)
+
+DTYPE_PATHS = ("repro/kernels/", "repro/formats/")
+
+#: allocators whose default dtype is inferred, not inherited
+BARE_ALLOCATORS = {"zeros", "ones", "empty", "full", "array", "arange"}
+NUMPY_ALIASES = ("np", "numpy")
+
+
+@register
+class DtypeChecker(Checker):
+    code = "REP401"
+    name = "dtype-discipline"
+    description = (
+        "numpy allocations in kernels/ and formats/ must pass an "
+        "explicit dtype= (the fp32/TF32 bit-for-bit contract)"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith(DTYPE_PATHS)
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None or "." not in dotted:
+                continue
+            alias, _, func = dotted.partition(".")
+            if alias not in NUMPY_ALIASES or func not in BARE_ALLOCATORS:
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            # positional dtype: zeros/ones/empty/array take it second,
+            # full third, arange fourth
+            pos = {"full": 3, "arange": 4}.get(func, 2)
+            if len(node.args) >= pos:
+                continue
+            findings.append(
+                Finding(
+                    path=ctx.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"`{dotted}(...)` without an explicit `dtype=` "
+                        f"in a kernel/format hot path — inferred dtypes "
+                        f"break the bit-for-bit contract across "
+                        f"platforms"
+                    ),
+                )
+            )
+        return findings

@@ -1,0 +1,136 @@
+"""The ``python -m repro.analysis`` command line.
+
+Exit status: 0 when no active findings remain after inline suppressions
+and (non-strict) baseline filtering; 1 otherwise.  ``--strict`` — the CI
+mode — additionally fails on findings a baseline would have absorbed and
+on stale baseline entries, so the only green state under ``--strict`` is
+a genuinely clean tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.core import (
+    all_checkers,
+    analyze_paths,
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Repo-specific static analysis: lock discipline, lock order, "
+            "determinism, serialisation hygiene, dtype discipline "
+            "(see docs/ANALYSIS.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="JSON baseline of accepted findings (repo policy: empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "CI mode: fail on baselined findings and stale baseline "
+            "entries too"
+        ),
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the checker catalog and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_checkers:
+        for checker in all_checkers():
+            print(f"{checker.code}  {checker.name}: {checker.description}")
+        return 0
+    select = (
+        {c.strip() for c in args.select.split(",") if c.strip()}
+        if args.select
+        else None
+    )
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"repro.analysis: no such path(s): {', '.join(missing)}")
+        return 2
+    findings, suppressed, n_files = analyze_paths(args.paths, select=select)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("repro.analysis: --write-baseline requires --baseline")
+            return 2
+        save_baseline(Path(args.baseline), findings)
+        print(
+            f"repro.analysis: wrote {len(findings)} finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    baselined: list = []
+    stale: list[dict] = []
+    if args.baseline and Path(args.baseline).exists():
+        findings, baselined, stale = split_by_baseline(
+            findings, load_baseline(Path(args.baseline))
+        )
+
+    failing = list(findings)
+    for f in failing:
+        print(f.format())
+    if args.strict:
+        for f in baselined:
+            print(f"{f.format()} [baselined — rejected by --strict]")
+        for e in stale:
+            print(
+                f"{e['path']}: stale baseline entry {e['code']} "
+                f"({e['message']!r} no longer matches)"
+            )
+        if baselined or stale:
+            failing = failing + baselined + stale
+
+    notes = [f"{n_files} file(s)"]
+    if suppressed:
+        notes.append(f"{len(suppressed)} suppressed inline")
+    if baselined and not args.strict:
+        notes.append(f"{len(baselined)} baselined")
+    if failing:
+        print(
+            f"repro.analysis: {len(failing)} finding(s) "
+            f"({', '.join(notes)})"
+        )
+        return 1
+    print(f"repro.analysis: clean ({', '.join(notes)})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Checker framework: findings, suppressions, baselines, the run loop.
+
+A *checker* is a class with a ``code`` (``REPnnn``), a path predicate,
+a per-module :meth:`Checker.check_module`, and an optional
+:meth:`Checker.finalize` for cross-module state (the lock-order graph
+accumulates edges across every scanned file before looking for cycles).
+Checkers register themselves via :func:`register`; one instance of each
+lives for the duration of one :func:`analyze_paths` run.
+
+Suppression forms, in priority order:
+
+* ``# repro: allow(REP401)`` — inline, on the finding's line or the
+  line directly above it; several codes separate with commas.
+* a JSON *baseline* file (``{"findings": [{"code", "path", "message"},
+  ...]}``) — accepted debt, matched on ``(code, path, message)`` so
+  unrelated line drift does not resurrect it.  The repository policy is
+  an **empty** baseline; CI runs ``--strict``, which refuses baselined
+  findings outright.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location."""
+
+    path: str  # posix path relative to the scan root's parent
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    @property
+    def identity(self) -> tuple:
+        """Line-independent identity used for baseline matching."""
+        return (self.code, self.path, self.message)
+
+
+#: ``# repro: allow(REP101)`` / ``# repro: allow(REP101, REP201)``
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\(\s*([A-Z0-9_,\s]+?)\s*\)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> codes suppressed *on* that line.
+
+    A pragma suppresses findings on its own line and on the line that
+    follows it (so a standalone comment line covers the statement below).
+    """
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), 1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+        for target in (lineno, lineno + 1):
+            out.setdefault(target, set()).update(codes)
+    return out
+
+
+@dataclass
+class ModuleContext:
+    """Everything a checker needs about one parsed source file."""
+
+    path: Path
+    relpath: str  # posix, e.g. "repro/serve/engine.py"
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, relpath: str) -> "ModuleContext":
+        source = path.read_text()
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            lines=source.splitlines(),
+            suppressions=parse_suppressions(source),
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        return finding.code in self.suppressions.get(finding.line, ())
+
+
+class Checker:
+    """Base class: subclass, set ``code``/``name``/``description``,
+    implement :meth:`check_module`, and :func:`register`."""
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finalize(self) -> list[Finding]:
+        """Cross-module findings, after every file has been scanned."""
+        return []
+
+
+_REGISTRY: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    _REGISTRY.append(cls)
+    return cls
+
+
+def all_checkers(select: set[str] | None = None) -> list[Checker]:
+    """Fresh instances of every registered checker (optionally a subset).
+
+    Importing :mod:`repro.analysis.checkers` here (not at module import)
+    avoids a cycle: checker modules import this one for the base class.
+    """
+    import repro.analysis.checkers  # noqa: F401 - registration side effect
+
+    return [
+        cls() for cls in _REGISTRY if select is None or cls.code in select
+    ]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers (used by several checkers)
+# ----------------------------------------------------------------------
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for an Attribute/Name chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def is_self_attr(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    )
+
+
+# ----------------------------------------------------------------------
+# the run loop
+# ----------------------------------------------------------------------
+def discover_files(paths: list[Path]) -> list[tuple[Path, str]]:
+    """``(file, relpath)`` pairs for every ``.py`` under ``paths``.
+
+    The relpath is relative to each argument's *parent*, so scanning
+    ``src/repro`` yields ``repro/serve/engine.py`` — the form the
+    path-scoped checkers are configured against.
+    """
+    out: list[tuple[Path, str]] = []
+    for root in paths:
+        root = Path(root)
+        base = root.parent
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for f in files:
+            out.append((f, f.relative_to(base).as_posix()))
+    return out
+
+
+def analyze_paths(
+    paths: list[Path | str],
+    select: set[str] | None = None,
+) -> tuple[list[Finding], list[Finding], int]:
+    """Run every (selected) checker over every file under ``paths``.
+
+    Returns ``(active, suppressed, n_files)`` — inline-suppressed
+    findings are separated out, baseline filtering is the CLI's job.
+    Files that fail to parse surface as ``REP000`` syntax findings
+    rather than crashing the run.
+    """
+    checkers = all_checkers(select)
+    files = discover_files([Path(p) for p in paths])
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    contexts: list[ModuleContext] = []
+    for path, relpath in files:
+        try:
+            ctx = ModuleContext.load(path, relpath)
+        except SyntaxError as exc:
+            active.append(
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    code="REP000",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        contexts.append(ctx)
+        for checker in checkers:
+            if not checker.applies_to(relpath):
+                continue
+            for finding in checker.check_module(ctx):
+                (suppressed if ctx.is_suppressed(finding) else active).append(
+                    finding
+                )
+    by_relpath = {ctx.relpath: ctx for ctx in contexts}
+    for checker in checkers:
+        for finding in checker.finalize():
+            ctx = by_relpath.get(finding.path)
+            if ctx is not None and ctx.is_suppressed(finding):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+    return sorted(active), sorted(suppressed), len(files)
+
+
+# ----------------------------------------------------------------------
+# baselines
+# ----------------------------------------------------------------------
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[dict]:
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a repro.analysis baseline file")
+    return list(data["findings"])
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"code": f.code, "path": f.path, "message": f.message}
+            for f in findings
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def split_by_baseline(
+    findings: list[Finding], baseline: list[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """``(new, baselined, stale)``: findings not in the baseline, findings
+    it covers, and baseline entries that no longer match anything."""
+    keys = {(e["code"], e["path"], e["message"]): e for e in baseline}
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    hit: set[tuple] = set()
+    for f in findings:
+        if f.identity in keys:
+            matched.append(f)
+            hit.add(f.identity)
+        else:
+            new.append(f)
+    stale = [e for k, e in keys.items() if k not in hit]
+    return new, matched, stale

@@ -126,13 +126,19 @@ class AccPlan:
         the prepared executor's materialised state.  Shared arrays are
         deduplicated by identity.
         """
-        seen: set[int] = set()
+        # identity-based dedup without id(): plan graphs share a handful
+        # of arrays at most, so a linear `is` scan beats keeping
+        # process-dependent id() values around in a determinism-audited
+        # path (REP201)
+        seen: list = []
         total = 0
 
         def add(arr) -> None:
             nonlocal total
-            if isinstance(arr, np.ndarray) and id(arr) not in seen:
-                seen.add(id(arr))
+            if isinstance(arr, np.ndarray) and not any(
+                s is arr for s in seen
+            ):
+                seen.append(arr)
                 total += arr.nbytes
 
         tc = self.tc_plan

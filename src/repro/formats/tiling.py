@@ -162,7 +162,10 @@ def build_tiling(
     cols_per_window = np.bincount(distinct_win, minlength=n_windows)
     win_col_start = np.zeros(n_windows + 1, dtype=np.int64)
     np.cumsum(cols_per_window, out=win_col_start[1:])
-    rank_in_window = np.arange(distinct_win.size) - win_col_start[distinct_win]
+    rank_in_window = (
+        np.arange(distinct_win.size, dtype=np.int64)
+        - win_col_start[distinct_win]
+    )
     local_block_of_col = rank_in_window // block_cols
     local_col_of_col = (rank_in_window % block_cols).astype(np.int8)
 

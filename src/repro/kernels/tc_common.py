@@ -193,7 +193,10 @@ def simulate_tc(
         np.arange(t.n_blocks, dtype=np.int64), accesses_per_block
     )
     tb_of_block = (
-        np.searchsorted(sched.tb_start, np.arange(t.n_blocks), side="right") - 1
+        np.searchsorted(
+            sched.tb_start, np.arange(t.n_blocks, dtype=np.int64), side="right"
+        )
+        - 1
     )
     sm_of_access = tb_of_block[block_of_access] % spec.n_sms
 
@@ -281,7 +284,7 @@ def simulate_tc(
         bubble_total += res.bubble_s
         k = e - s
         if k not in zeros_cache:
-            zeros_cache[k] = np.zeros(k)
+            zeros_cache[k] = np.zeros(k, dtype=np.float64)
         fixed_stages = StageTimes(
             load_a=zeros_cache[k],
             load_b=zeros_cache[k],

@@ -40,6 +40,8 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.analysis.runtime import report_unowned
+
 
 @dataclass
 class CacheStats:
@@ -125,6 +127,15 @@ class PlanCache:
     Keys are opaque hashable tuples (the engine builds them from
     :class:`~repro.serve.fingerprint.MatrixFingerprint` plus device and
     config); values are whatever plan object the caller stores.
+
+    The cache itself is *not* thread-safe — it is the state the owning
+    engine's lock guards.  ``owner_lock`` makes that contract checkable:
+    when the owner passes its lock and the lock can answer
+    ``held_by_current_thread()`` (the sanitizer's
+    :class:`~repro.analysis.runtime.TrackedLock` can; a plain
+    ``threading.RLock`` cannot, so the check is free in production),
+    every mutating or reading entry point asserts the lock is held and
+    reports a guarded-access violation otherwise.
     """
 
     capacity: int = 32
@@ -134,6 +145,8 @@ class PlanCache:
     cost_of: object = None  # callable(plan) -> seconds, for policy="cost"
     max_idle_seconds: float | None = None  # TTL; None disables expiry
     clock: object = time.monotonic  # injectable time source for the TTL
+    #: the owning engine's lock; enables the held-lock assertion above
+    owner_lock: object = None
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     #: structural key -> most recent full key with that structure
@@ -153,9 +166,24 @@ class PlanCache:
         if self.max_idle_seconds is not None and self.max_idle_seconds <= 0:
             raise ValueError("cache max_idle_seconds must be > 0 (or None)")
 
+    def _assert_owned(self) -> None:
+        """Report (sanitizer builds only) entry without the owner lock.
+
+        Duck-typed on ``held_by_current_thread``: a plain RLock has no
+        such method, so outside sanitizer runs this is one ``getattr``
+        returning ``None`` — no branch taken, nothing recorded.
+        """
+        held = getattr(self.owner_lock, "held_by_current_thread", None)
+        if held is not None and not held():
+            report_unowned(
+                "PlanCache entered without holding its owner lock "
+                "(the owning engine's `_lock`)"
+            )
+
     # ------------------------------------------------------------------
     def get(self, key: tuple) -> object | None:
         """Cached plan for ``key``, counting a hit/miss and refreshing LRU."""
+        self._assert_owned()
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -172,6 +200,7 @@ class PlanCache:
 
         Used for the re-check after a plan build finished on another
         thread — that request's outcome was already counted."""
+        self._assert_owned()
         return self._entries.get(key)
 
     def peek_structural(self, structural_key: tuple) -> object | None:
@@ -181,6 +210,7 @@ class PlanCache:
         not disturb LRU order or the hit/miss counters — the lookup that
         led here was already counted as a miss.
         """
+        self._assert_owned()
         full_key = self._by_structure.get(structural_key)
         if full_key is None:
             return None
@@ -188,6 +218,7 @@ class PlanCache:
 
     def put(self, key: tuple, plan: object, structural_key: tuple | None = None) -> None:
         """Insert (or refresh) an entry, evicting beyond the limits."""
+        self._assert_owned()
         if key in self._entries:
             self._entries.move_to_end(key)
             self._meta[key].last_used = self.clock()
@@ -208,6 +239,7 @@ class PlanCache:
         at least one entry always survives: a plan bigger than the whole
         budget would otherwise thrash on every request.
         """
+        self._assert_owned()
         self.expire_idle()
         while len(self._entries) > self.capacity:
             self._evict_one()
@@ -222,6 +254,7 @@ class PlanCache:
         A no-op without a TTL.  Never touches an entry requested (or
         inserted) since the cutoff.
         """
+        self._assert_owned()
         if self.max_idle_seconds is None or not self._entries:
             return 0
         cutoff = self.clock() - self.max_idle_seconds
@@ -267,12 +300,14 @@ class PlanCache:
         Recomputed live so entries whose executor was built after
         insertion are charged their real size.
         """
+        self._assert_owned()
         if self.size_of is None:
             return 0
         return sum(self.size_of(p) for p in self._entries.values())
 
     def values(self):
         """The cached plans, LRU-first (stats/introspection; no LRU touch)."""
+        self._assert_owned()
         return list(self._entries.values())
 
     # ------------------------------------------------------------------
@@ -284,9 +319,11 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop all entries (stats are kept; reset via ``reset_stats``)."""
+        self._assert_owned()
         self._entries.clear()
         self._by_structure.clear()
         self._meta.clear()
 
     def reset_stats(self) -> None:
+        self._assert_owned()
         self.stats = CacheStats()

@@ -24,11 +24,11 @@ feature dimensions: the numeric result of
 
 from __future__ import annotations
 
-import threading
 from dataclasses import replace as dc_replace
 
 import numpy as np
 
+from repro.analysis.runtime import audit_guarded, create_lock
 from repro.core.config import AccConfig
 from repro.core.planner import AccPlan, plan as build_plan
 from repro.errors import ValidationError
@@ -60,6 +60,7 @@ def plan_build_cost(plan) -> float:
     return float(getattr(plan, "build_seconds", 0.0) or 0.0)
 
 
+@audit_guarded
 class SpMMEngine:
     """Serve repeated SpMM traffic through a content-addressed plan cache.
 
@@ -110,6 +111,10 @@ class SpMMEngine:
     do not share this lock (see ``docs/CONCURRENCY.md``).
     """
 
+    #: lock discipline, enforced statically (REP101) and — under
+    #: REPRO_LOCK_SANITIZER=1 — dynamically (repro.analysis.runtime)
+    _GUARDED_BY_ = {"cache": "_lock", "_build_locks": "_lock"}
+
     def __init__(
         self,
         capacity: int = 32,
@@ -121,6 +126,9 @@ class SpMMEngine:
         policy: str = "lru",
         max_idle_seconds: float | None = None,
     ) -> None:
+        # the lock exists before the state it guards, so the cache can
+        # carry an owner_lock reference for its own held-lock assertion
+        self._lock = create_lock("SpMMEngine._lock")
         self.cache = PlanCache(
             capacity=capacity,
             max_bytes=max_bytes,
@@ -128,6 +136,7 @@ class SpMMEngine:
             policy=policy,
             cost_of=plan_build_cost,
             max_idle_seconds=max_idle_seconds,
+            owner_lock=self._lock,
         )
         if store is not None and not hasattr(store, "get"):
             from repro.serve.store import PlanStore
@@ -137,7 +146,6 @@ class SpMMEngine:
         self.default_device = get_device(device)
         self.default_config = config or AccConfig.paper_default()
         self.exec_max_bytes = exec_max_bytes
-        self._lock = threading.Lock()
         #: per-key locks so a slow plan build only blocks same-key requests
         self._build_locks: dict = {}
 
@@ -169,7 +177,9 @@ class SpMMEngine:
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-            build_lock = self._build_locks.setdefault(key, threading.Lock())
+            build_lock = self._build_locks.setdefault(
+                key, create_lock("SpMMEngine.build_lock")
+            )
         # build outside the engine lock: a slow plan build must not stall
         # cache hits on other matrices; same-key requests queue here
         with build_lock:
@@ -308,9 +318,7 @@ class SpMMEngine:
         entries = sorted(
             self.store.entries(), key=lambda e: -e.build_seconds
         )
-        cap = self.cache.capacity if limit is None else min(
-            limit, self.cache.capacity
-        )
+        cap = self.capacity if limit is None else min(limit, self.capacity)
         return self._warm_from(self.store, entries, cap)
 
     def _warm_from(self, store, entries, cap: int) -> int:
@@ -434,6 +442,13 @@ class SpMMEngine:
 
     # ------------------------------------------------------------------
     @property
+    def capacity(self) -> int:
+        """Slot capacity of the in-memory cache (a lock-held read, so
+        callers never see the cache mid-mutation)."""
+        with self._lock:
+            return self.cache.capacity
+
+    @property
     def stats(self) -> dict:
         """Cache counters plus occupancy and executor-prep accounting.
 
@@ -445,10 +460,20 @@ class SpMMEngine:
         this process's store traffic (hits/misses/puts/quarantines) —
         in-memory counters only; use ``engine.store.as_dict()`` for the
         on-disk entry count and byte footprint (it scans the directory).
+
+        One consistent snapshot: counters, occupancy and configuration
+        are all read under a single hold of the engine lock, so the
+        reported numbers describe one moment of the cache rather than a
+        torn mix (this was historically a set of unlocked reads — the
+        exact class of bug REP101 now flags).
         """
         with self._lock:
             plans = self.cache.values()
             cached_bytes = self.cache.total_bytes()
+            counters = self.cache.stats.as_dict()
+            capacity = self.cache.capacity
+            max_bytes = self.cache.max_bytes
+            policy = self.cache.policy
         executors = [
             ex
             for p in plans
@@ -456,12 +481,12 @@ class SpMMEngine:
             is not None
         ]
         out = {
-            **self.cache.stats.as_dict(),
+            **counters,
             "cached_plans": len(plans),
-            "capacity": self.cache.capacity,
+            "capacity": capacity,
             "cached_bytes": cached_bytes,
-            "max_bytes": self.cache.max_bytes,
-            "policy": self.cache.policy,
+            "max_bytes": max_bytes,
+            "policy": policy,
             "prepared_plans": len(executors),
             "prepared_bytes": sum(ex.nbytes for ex in executors),
             "prep_hits": sum(ex.stats.prep_hits for ex in executors),
@@ -483,7 +508,7 @@ class SpMMEngine:
 # process-wide default engine (what `repro.spmm` routes through)
 # ----------------------------------------------------------------------
 _default_engine: SpMMEngine | None = None
-_default_lock = threading.Lock()
+_default_lock = create_lock("repro.serve.engine._default_lock")
 
 
 def default_engine():

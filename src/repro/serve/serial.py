@@ -75,6 +75,37 @@ MAGIC = b"ACCSPMM\x00"
 _ALIGN = 64
 _HEAD = struct.Struct("<8sIQ")  # magic, version, header-json length
 
+#: The injectable wall clock behind the v2 ``saved_at`` header field —
+#: the one legitimate wall-clock read in this module.  Bound once so
+#: determinism audits and tests can monkeypatch it; production code must
+#: call the binding, never ``time.time()`` directly (REP201).
+_wall_clock = time.time
+
+#: Numpy dtype *kinds* allowed in a container's array table: booleans,
+#: signed/unsigned integers, floats.  Everything else — object arrays
+#: (which pickle), strings, void/records, datetimes — is rejected at
+#: both pack and load time: the no-pickle/no-code-execution stance of
+#: this format is only as strong as its narrowest dtype gate.
+_ALLOWED_DTYPE_KINDS = frozenset("biuf")
+
+#: What a malformed-but-well-formed-JSON payload can legitimately raise
+#: while being decoded into plan objects: missing/mistyped keys, wrong
+#: nesting, out-of-range numbers.  Decode paths translate exactly these
+#: into :class:`StoreError` (so the store quarantines the entry) and let
+#: everything else — ``MemoryError``, ``KeyboardInterrupt``, internal
+#: invariant breaks — propagate: a resource failure must not be
+#: laundered into "corrupt entry" and silently quarantined.
+#: ``ValueError`` covers :class:`~repro.errors.ValidationError` and
+#: ``UnicodeDecodeError`` via subclassing.
+_DECODE_ERRORS = (
+    KeyError,
+    IndexError,
+    AttributeError,
+    TypeError,
+    ValueError,
+    OverflowError,
+)
+
 
 # ----------------------------------------------------------------------
 # container primitives
@@ -97,6 +128,12 @@ def pack_container(kind: str, meta: dict, arrays: dict) -> bytes:
         if arr is None:
             continue
         arr = np.ascontiguousarray(arr)
+        if arr.dtype.kind not in _ALLOWED_DTYPE_KINDS:
+            raise StoreError(
+                f"array {name!r} has dtype {arr.dtype.str!r}; containers "
+                f"carry only plain numeric dtypes (kinds "
+                f"{''.join(sorted(_ALLOWED_DTYPE_KINDS))})"
+            )
         offset = _align(offset)
         table.append(
             {
@@ -172,6 +209,12 @@ def _normalised_table(header: dict) -> list[dict]:
         for entry in header["arrays"]:
             name = str(entry["name"])
             dtype = np.dtype(entry["dtype"])
+            if dtype.kind not in _ALLOWED_DTYPE_KINDS:
+                raise StoreError(
+                    f"array {name!r} declares dtype {entry['dtype']!r}; "
+                    f"containers carry only plain numeric dtypes (kinds "
+                    f"{''.join(sorted(_ALLOWED_DTYPE_KINDS))})"
+                )
             shape = tuple(int(s) for s in entry["shape"])
             offset = int(entry["offset"])
             nbytes = int(entry["nbytes"])
@@ -192,7 +235,7 @@ def _normalised_table(header: dict) -> list[dict]:
             )
     except StoreError:
         raise
-    except Exception as exc:  # wrong nesting/keys/values, unknown dtype
+    except _DECODE_ERRORS as exc:  # wrong nesting/keys/values, bad dtype
         raise StoreError(f"malformed array table: {exc!r}") from exc
     return table
 
@@ -412,7 +455,7 @@ def tcplan_from_payload(
         )
     except StoreError:
         raise
-    except Exception as exc:  # malformed payloads surface uniformly
+    except _DECODE_ERRORS as exc:  # malformed payloads surface uniformly
         raise StoreError(f"invalid TCPlan payload: {exc}") from exc
 
 
@@ -458,7 +501,7 @@ def plan_payload(p: AccPlan, include_executor: bool = True) -> tuple[dict, dict]
         # wall-clock serialisation time (format v2): the store's initial
         # ``last_used`` recency signal for TTL gc, robust against file
         # copies that reset mtimes.  Absent in v1 containers.
-        "saved_at": float(time.time()),
+        "saved_at": float(_wall_clock()),
         "fingerprint": {
             "n_rows": fp.n_rows,
             "n_cols": fp.n_cols,
@@ -509,7 +552,7 @@ def plan_from_payload(meta: dict, arrays: dict) -> AccPlan:
         )
     except StoreError:
         raise
-    except Exception as exc:
+    except _DECODE_ERRORS as exc:
         raise StoreError(f"invalid AccPlan payload: {exc}") from exc
 
 

@@ -35,11 +35,11 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures as cf
-import threading
 from functools import partial
 
 import numpy as np
 
+from repro.analysis.runtime import audit_guarded, create_lock
 from repro.core.config import AccConfig
 from repro.core.planner import AccPlan
 from repro.gpusim.specs import DeviceSpec, get_device
@@ -50,6 +50,7 @@ from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
 
+@audit_guarded
 class ShardedSpMMEngine:
     """N per-shard engines behind one engine-shaped front.
 
@@ -81,6 +82,10 @@ class ShardedSpMMEngine:
     locks independently, and the tenant counters take a dedicated lock
     only long enough to bump integers.
     """
+
+    #: lock discipline, enforced statically (REP101) and — under
+    #: REPRO_LOCK_SANITIZER=1 — dynamically (repro.analysis.runtime)
+    _GUARDED_BY_ = {"_tenants": "_tenant_lock"}
 
     def __init__(
         self,
@@ -120,8 +125,8 @@ class ShardedSpMMEngine:
             )
             for _ in range(self.n_shards)
         ]
+        self._tenant_lock = create_lock("ShardedSpMMEngine._tenant_lock")
         self._tenants: dict[str, dict] = {}
-        self._tenant_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # routing
@@ -264,10 +269,10 @@ class ShardedSpMMEngine:
         if self.store is None:
             return 0
         entries = sorted(self.store.entries(), key=lambda e: -e.build_seconds)
-        remaining = (
-            sum(sh.cache.capacity for sh in self.shards)
-            if limit is None else limit
-        )
+        # shard capacities through the lock-held property — reading
+        # `shard.cache` directly here would race that shard's traffic
+        capacities = [sh.capacity for sh in self.shards]
+        remaining = sum(capacities) if limit is None else limit
         buckets: list[list] = [[] for _ in range(self.n_shards)]
         for entry in entries:  # global cost order
             if remaining <= 0:
@@ -275,7 +280,7 @@ class ShardedSpMMEngine:
             idx = self._entry_shard(entry)
             if idx is None:
                 continue
-            if len(buckets[idx]) >= self.shards[idx].cache.capacity:
+            if len(buckets[idx]) >= capacities[idx]:
                 continue
             buckets[idx].append(entry)
             remaining -= 1
@@ -329,7 +334,7 @@ class ShardedSpMMEngine:
             round(agg.get("hits", 0) / requests, 4) if requests else 0.0
         )
         agg["n_shards"] = self.n_shards
-        agg["policy"] = self.shards[0].cache.policy
+        agg["policy"] = per_shard[0]["policy"]
         if self.store is not None:
             agg["store"] = self.store.counters()
         with self._tenant_lock:
@@ -341,6 +346,7 @@ class ShardedSpMMEngine:
 # ----------------------------------------------------------------------
 # the asyncio facade
 # ----------------------------------------------------------------------
+@audit_guarded
 class AsyncSpMMEngine:
     """``await``-able serving front over a (sharded) engine.
 
@@ -377,6 +383,16 @@ class AsyncSpMMEngine:
     worker threads themselves are loop-agnostic.
     """
 
+    #: lock discipline, enforced statically (REP101) and — under
+    #: REPRO_LOCK_SANITIZER=1 — dynamically (repro.analysis.runtime)
+    _GUARDED_BY_ = {
+        "_inflight": "_lock",
+        "_requests": "_lock",
+        "_resolutions": "_lock",
+        "_coalesced_waits": "_lock",
+        "_tenants": "_lock",
+    }
+
     def __init__(self, engine=None, max_workers: int | None = None, **kwargs):
         if engine is None:
             engine = ShardedSpMMEngine(**kwargs)
@@ -389,7 +405,7 @@ class AsyncSpMMEngine:
         self._pool = cf.ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="accspmm-async"
         )
-        self._lock = threading.Lock()
+        self._lock = create_lock("AsyncSpMMEngine._lock")
         #: plan key -> in-flight plan resolution (the coalescing map)
         self._inflight: dict[tuple, cf.Future] = {}
         self._requests = 0

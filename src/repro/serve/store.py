@@ -53,11 +53,11 @@ import argparse
 import os
 import sys
 import tempfile
-import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.runtime import create_lock
 from repro.errors import StoreError
 from repro.serve.fingerprint import (
     MatrixFingerprint,
@@ -201,8 +201,8 @@ class PlanStore:
         self.mmap = mmap
         self.shards = int(shards) if shards is not None else None
         self.max_idle_seconds = max_idle_seconds
-        self.stats = StoreStats()
-        self._stats_lock = threading.Lock()
+        self._stats_lock = create_lock("PlanStore._stats_lock")
+        self.stats = StoreStats()  #: guarded_by: _stats_lock
 
     def _count(self, counter: str, n: int = 1) -> None:
         """Bump a stats counter exactly (``+=`` alone is not atomic)."""
@@ -509,12 +509,14 @@ class PlanStore:
         stay a pure in-memory operation even with hundreds of persisted
         plans.  :meth:`as_dict` adds the directory-scan facts.
         """
+        with self._stats_lock:
+            counters = self.stats.as_dict()
         return {
             "root": str(self.root),
             "max_bytes": self.max_bytes,
             "max_idle_seconds": self.max_idle_seconds,
             "shards": self.shards,
-            **self.stats.as_dict(),
+            **counters,
         }
 
     def as_dict(self) -> dict:
@@ -528,6 +530,8 @@ class PlanStore:
             else 0
         )
         entries = self.entries()
+        with self._stats_lock:
+            counters = self.stats.as_dict()
         return {
             "root": str(self.root),
             "entries": len(entries),
@@ -536,7 +540,7 @@ class PlanStore:
             "max_idle_seconds": self.max_idle_seconds,
             "shards": self.shards,
             "quarantined_files": quarantined_files,
-            **self.stats.as_dict(),
+            **counters,
         }
 
 

@@ -40,7 +40,7 @@ from repro.serve.serial import (
 from repro.serve.store import PlanStore
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.random import erdos_renyi, powerlaw_graph
+from repro.sparse.random import erdos_renyi
 
 
 def make_csr(seed=0, n=256, deg=8.0):
@@ -157,28 +157,32 @@ class TestShardedRouting:
 # ----------------------------------------------------------------------
 # concurrency: exactly-one-build, identical results
 # ----------------------------------------------------------------------
+def run_stress(eng, matrices, n_threads=16):
+    """All threads hammer all matrices; first arrivals race the miss."""
+    barrier = threading.Barrier(n_threads)
+    refs = {
+        i: SpMMEngine().spmm(A, make_b(A, seed=i))
+        for i, A in enumerate(matrices)
+    }
+    failures = []
+
+    def worker(tid):
+        barrier.wait()
+        for i, A in enumerate(matrices):
+            C = eng.spmm(A, make_b(A, seed=i))
+            if not np.array_equal(C, refs[i]):
+                failures.append((tid, i))
+
+    with ThreadPoolExecutor(n_threads) as pool:
+        list(pool.map(worker, range(n_threads)))
+    assert not failures
+
+
 class TestConcurrentAccess:
     N_THREADS = 16
 
     def _stress(self, eng, matrices):
-        """All threads hammer all matrices; first arrivals race the miss."""
-        barrier = threading.Barrier(self.N_THREADS)
-        refs = {
-            i: SpMMEngine().spmm(A, make_b(A, seed=i))
-            for i, A in enumerate(matrices)
-        }
-        failures = []
-
-        def worker(tid):
-            barrier.wait()
-            for i, A in enumerate(matrices):
-                C = eng.spmm(A, make_b(A, seed=i))
-                if not np.array_equal(C, refs[i]):
-                    failures.append((tid, i))
-
-        with ThreadPoolExecutor(self.N_THREADS) as pool:
-            list(pool.map(worker, range(self.N_THREADS)))
-        assert not failures
+        run_stress(eng, matrices, self.N_THREADS)
 
     def test_exactly_one_build_under_simultaneous_misses_sharded(self):
         eng = ShardedSpMMEngine(n_shards=4)
@@ -197,6 +201,71 @@ class TestConcurrentAccess:
         eng = SpMMEngine()
         self._stress(eng, [make_csr(seed=8)])
         assert eng.stats["plans_built"] == 1
+
+
+# ----------------------------------------------------------------------
+# the same stress, under the runtime lock sanitizer (PR 6)
+# ----------------------------------------------------------------------
+class TestSanitizedStress:
+    """16-thread stress with REPRO_LOCK_SANITIZER semantics active.
+
+    Engines are built *after* enabling, so every engine/build/tenant
+    lock is a TrackedLock and every ``_GUARDED_BY_`` field read is
+    audited; the acceptance bar is zero lock-order inversions and zero
+    unlocked guarded-field accesses under real contention.
+    """
+
+    N_THREADS = 16
+
+    @pytest.fixture
+    def sanitizer(self):
+        from repro.analysis import runtime as rt
+
+        rt.enable()
+        rt.reset()
+        rt.install_guard_audit()
+        yield rt
+        rt.uninstall_guard_audit()
+        rt.disable()
+        rt.reset()
+
+    def test_sharded_stress_is_violation_free(self, sanitizer):
+        eng = ShardedSpMMEngine(n_shards=4)
+        run_stress(eng, [make_csr(seed=s) for s in range(3)], self.N_THREADS)
+        _ = eng.stats  # the historically-racy snapshot path
+        assert eng.stats["plans_built"] == 3
+        assert sanitizer.violations() == []
+
+    def test_single_engine_stress_is_violation_free(self, sanitizer):
+        eng = SpMMEngine()
+        run_stress(eng, [make_csr(seed=31)], self.N_THREADS)
+        _ = eng.stats
+        assert sanitizer.violations() == []
+
+    def test_store_backed_sharded_stress_is_violation_free(
+        self, sanitizer, tmp_path
+    ):
+        eng = ShardedSpMMEngine(n_shards=2, store=tmp_path / "plans")
+        run_stress(eng, [make_csr(seed=41)], self.N_THREADS)
+        warm = ShardedSpMMEngine(n_shards=2, store=tmp_path / "plans")
+        assert warm.warm_start() == 1
+        _ = warm.stats
+        assert sanitizer.violations() == []
+
+    def test_async_traffic_is_violation_free(self, sanitizer):
+        A = make_csr(seed=51)
+        B = make_b(A)
+
+        async def main():
+            async with AsyncSpMMEngine(n_shards=2) as eng:
+                await asyncio.gather(
+                    *[eng.multiply(A, B, tenant=f"t{i % 2}") for i in range(8)]
+                )
+                return eng.stats
+
+        stats = asyncio.run(main())
+        assert stats["plans_built"] == 1
+        assert sanitizer.violations() == []
 
 
 # ----------------------------------------------------------------------

@@ -12,12 +12,16 @@ Validates, without importing the library:
    placeholders, not references);
 3. the module map in ``docs/ARCHITECTURE.md`` names every top-level
    package under ``src/repro/`` — adding a package without documenting
-   it fails CI.
+   it fails CI;
+4. every *public* class defined in ``src/repro/serve/*.py`` has a row
+   in the thread-safety table of ``docs/CONCURRENCY.md`` — a new
+   serving class ships with its concurrency contract documented, or
+   not at all (AST-based; no import needed).
 
 And, when the library is importable (numpy present — CI installs it
 before this check):
 
-4. every public class/function/attribute named in the serving docs
+5. every public class/function/attribute named in the serving docs
    (``docs/SERVING.md``, ``docs/CONCURRENCY.md``) actually resolves via
    import — inline-code tokens such as ``repro.serve.store.PlanStore``
    or ``ShardedSpMMEngine.warm_start`` are resolved module-by-module and
@@ -216,6 +220,51 @@ def check_module_map(errors: list[str]) -> None:
             )
 
 
+def public_serve_classes() -> list[str]:
+    """Every public (no leading underscore) class defined under
+    ``src/repro/serve`` — collected from the AST, so this works without
+    numpy."""
+    import ast
+
+    names = []
+    for py in sorted((ROOT / "src" / "repro" / "serve").glob("*.py")):
+        tree = ast.parse(py.read_text())
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                names.append(node.name)
+    return names
+
+
+def check_thread_safety_table(errors: list[str]) -> None:
+    """Every public ``repro.serve`` class needs a thread-safety row.
+
+    The contract table in ``docs/CONCURRENCY.md`` is the one place a
+    caller learns whether a serving class locks internally or expects
+    caller serialization — so a class missing from it is an
+    undocumented concurrency contract, which fails CI.
+    """
+    conc = ROOT / "docs" / "CONCURRENCY.md"
+    if not conc.exists():
+        errors.append("docs/CONCURRENCY.md is missing")
+        return
+    lines = conc.read_text().splitlines()
+    # the table rows of the "Thread-safety contract" section only
+    section, rows = False, []
+    for line in lines:
+        if re.match(r"^##\s", line):
+            section = "thread-safety" in line.lower()
+            continue
+        if section and line.startswith("|"):
+            rows.append(line)
+    table = "\n".join(rows)
+    for name in public_serve_classes():
+        if f"`{name}`" not in table:
+            errors.append(
+                f"docs/CONCURRENCY.md: thread-safety table has no row "
+                f"for public serving class `{name}`"
+            )
+
+
 def main() -> int:
     errors: list[str] = []
     for doc in DOC_FILES:
@@ -225,6 +274,7 @@ def main() -> int:
         check_links(doc, errors)
         check_inline_paths(doc, errors)
     check_module_map(errors)
+    check_thread_safety_table(errors)
     api_note = "API refs skipped (library not importable)"
     sys.path.insert(0, str(ROOT / "src"))
     try:
@@ -242,8 +292,8 @@ def main() -> int:
             print(f"  - {err}")
         return 1
     print(
-        f"docs check OK ({len(DOC_FILES)} files, module map complete, "
-        f"{api_note})"
+        f"docs check OK ({len(DOC_FILES)} files, module map and "
+        f"thread-safety table complete, {api_note})"
     )
     return 0
 

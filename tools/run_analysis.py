@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Run the repo's static analysis without needing PYTHONPATH set.
+
+Thin wrapper over ``python -m repro.analysis`` for CI and pre-commit
+use; see docs/ANALYSIS.md for the checker catalog and exit semantics.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,17 +6,19 @@ fits one uint64 (§3.3) and the shape the swapped m16n8k8 MMA consumes
 8x8 choice minimises the quantities the kernel pays for — TC-block count
 (A-tile traffic + MMA instructions) — even though smaller tiles always
 look "denser" per cell.
-"""
 
-import numpy as np
+The geometry list is :data:`repro.tune.space.TILE_SHAPES` — the same
+space the per-matrix autotuner searches, so this ablation and the
+tuner can never drift apart (``benchmarks/bench_autotune.py`` measures
+what the tuner makes of the space end-to-end).
+"""
 
 from repro.bench.reporting import format_table
 from repro.formats.tiling import build_tiling
 from repro.sparse.datasets import load_dataset
+from repro.tune.space import TILE_SHAPES
 
 from _common import dump, once
-
-SHAPES = [(2, 8), (4, 8), (8, 8), (8, 4), (4, 4)]
 
 
 def run():
@@ -24,12 +26,10 @@ def run():
     for abbr in ("DD", "WB", "FY-RSR"):
         csr = load_dataset(abbr)
         row = {"dataset": abbr}
-        for wr, bc in SHAPES:
+        for wr, bc in TILE_SHAPES:
             t = build_tiling(csr, window_rows=wr, block_cols=bc)
             row[f"blocks_{wr}x{bc}"] = t.n_blocks
-            row[f"occ_{wr}x{bc}"] = round(
-                t.mean_nnz_per_block() / (wr * bc), 3
-            )
+            row[f"occ_{wr}x{bc}"] = round(t.mean_occupancy(), 3)
         rows.append(row)
     return rows
 

@@ -36,8 +36,15 @@ Cross-process plan persistence (a new worker skips planning)::
     engine.warm_start()                           # mmap plans from disk
     C = engine.spmm(A, B)                         # cache hit, no replan
 
+Numerics tiers and the per-matrix autotuner (:mod:`repro.tune`)::
+
+    C = repro.spmm(A, B, numerics="fast")         # reassociated, unrounded
+    cfg = repro.autotune(A, feature_dim=128)      # tile shape + kernel
+    p = repro.plan(A, feature_dim=128, tuned=cfg) # or autotune=True
+
 See ``README.md`` for a tour, ``docs/ARCHITECTURE.md`` for the module
-map, and ``docs/SERVING.md`` for plan-cache and store semantics.
+map, ``docs/SERVING.md`` for plan-cache and store semantics, and
+``docs/NUMERICS.md`` for tier error bounds and autotuner knobs.
 """
 
 from repro.core import AccConfig, AccPlan, plan, spmm, spmm_many
@@ -63,6 +70,12 @@ def __getattr__(name):
         from repro.serve import store
 
         return store.PlanStore
+    # autotune pulls in kernels/gpusim; resolved on first use so
+    # `import repro` stays light for policy-only callers
+    if name == "autotune":
+        from repro.tune.autotune import autotune
+
+        return autotune
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 from repro.errors import (
     ConvergenceError,
@@ -72,6 +85,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.gpusim import DEVICES, get_device
+from repro.tune import NumericsPolicy, TunedConfig, resolve_policy
 from repro.sparse import (
     COOMatrix,
     CSRMatrix,
@@ -120,5 +134,9 @@ __all__ = [
     "load_matrix_market",
     "save_matrix_market",
     "matrix_stats",
+    "NumericsPolicy",
+    "resolve_policy",
+    "TunedConfig",
+    "autotune",
     "__version__",
 ]

@@ -5,5 +5,6 @@ from repro.analysis.checkers import (  # noqa: F401 - registration imports
     dtypes,
     guarded,
     lockorder,
+    policy,
     serialization,
 )

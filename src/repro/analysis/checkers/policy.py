@@ -1,0 +1,129 @@
+"""REP501 — exec-mode strings belong to the numerics-policy layer.
+
+The executor's ``"exact"`` / ``"adaptive"`` / ``"fast"`` modes are an
+implementation detail of the :mod:`repro.tune` numerics tiers: callers
+select a tier (``numerics="fast"``), and :func:`repro.tune.policy.
+resolve_policy` maps it to a mode exactly once.  A direct string literal
+— ``prepare(mode="adaptive")`` in library code, ``meta["exec_mode"] =
+"fast"`` in a serving path — bypasses that mapping, so a tier rename or
+a new mode silently diverges from the policy table, and the documented
+error bounds (``docs/NUMERICS.md``) stop matching what actually runs.
+
+Library code under ``repro/`` must therefore never assign an exec-mode
+string literal outside ``repro/tune/`` itself: pass a tier through
+``numerics=`` or thread a variable that originated in the policy layer.
+Flagged shapes: an ``exec_mode="..."``/``mode="..."`` keyword whose
+value is a string literal naming a mode, a ``...["exec_mode"] = "..."``
+subscript store, and an ``"exec_mode": "..."`` dict-literal entry.
+Tests and benchmarks may pin modes directly (they exercise specific
+paths); the gate covers the library, where the policy indirection is
+the point.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    register,
+)
+
+#: the policy layer itself — the one place allowed to speak mode strings
+POLICY_PATHS = ("repro/tune/",)
+
+#: executor mode names (EXEC_MODES in repro.kernels.executor); only
+#: literals naming an actual mode are flagged — `mode="r"` on open() is
+#: not an exec mode
+MODE_LITERALS = {"exact", "adaptive", "fast"}
+
+#: keyword names that carry an exec mode at call sites
+MODE_KEYWORDS = {"exec_mode", "mode"}
+
+
+def _is_mode_literal(node: ast.expr | None) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, str)
+        and node.value in MODE_LITERALS
+    )
+
+
+def _subscript_key(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Subscript) and isinstance(
+        node.slice, ast.Constant
+    ):
+        key = node.slice.value
+        return key if isinstance(key, str) else None
+    return None
+
+
+@register
+class PolicyLiteralChecker(Checker):
+    code = "REP501"
+    name = "policy-literals"
+    description = (
+        "exec-mode string literals outside repro/tune/ bypass the "
+        "numerics-policy mapping; pass a tier via numerics= instead"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("repro/") and not relpath.startswith(
+            POLICY_PATHS
+        )
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            hit: tuple[int, int, str] | None = None
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg in MODE_KEYWORDS and _is_mode_literal(kw.value):
+                        hit = (
+                            kw.value.lineno,
+                            kw.value.col_offset,
+                            f"`{kw.arg}={kw.value.value!r}` keyword",
+                        )
+                        break
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if _subscript_key(tgt) == "exec_mode" and _is_mode_literal(
+                        node.value
+                    ):
+                        hit = (
+                            node.lineno,
+                            node.col_offset,
+                            f"`[\"exec_mode\"] = {node.value.value!r}` store",
+                        )
+                        break
+            elif isinstance(node, ast.Dict):
+                for key, val in zip(node.keys, node.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and key.value == "exec_mode"
+                        and _is_mode_literal(val)
+                    ):
+                        hit = (
+                            key.lineno,
+                            key.col_offset,
+                            f"`\"exec_mode\": {val.value!r}` dict entry",
+                        )
+                        break
+            if hit is not None:
+                line, col, what = hit
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=line,
+                        col=col,
+                        code=self.code,
+                        message=(
+                            f"{what} hard-codes an executor mode outside "
+                            f"repro/tune/ — select a numerics tier "
+                            f"(numerics=) and let resolve_policy() map it"
+                        ),
+                    )
+                )
+        return findings

@@ -28,6 +28,7 @@ def spmm(
     device: DeviceSpec | str = "a800",
     config: AccConfig | None = None,
     use_cache: bool = True,
+    numerics=None,
 ) -> np.ndarray:
     """Compute ``C = A @ B`` with the full Acc-SpMM pipeline.
 
@@ -37,11 +38,17 @@ def spmm(
     ``A``/``device``/``config`` content; ``use_cache=False`` replans on
     every call instead.  For explicit control over capacity and stats,
     build your own :class:`repro.SpMMEngine`.
+
+    ``numerics`` selects a :mod:`repro.tune` tier — ``"exact"``
+    (bit-for-bit, default), ``"tf32"``, or ``"fast"`` — with the error
+    bound documented in ``docs/NUMERICS.md``.
     """
     if use_cache:
         from repro.serve.engine import default_engine
 
-        return default_engine().spmm(A, B, device=device, config=config)
+        return default_engine().spmm(
+            A, B, device=device, config=config, numerics=numerics
+        )
     csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
     B = np.ascontiguousarray(B, dtype=np.float32)
     if csr.n_rows == 0 or csr.n_cols == 0:
@@ -50,7 +57,7 @@ def spmm(
             raise ValidationError(f"B must be ({csr.n_cols}, N); got {B.shape}")
         return np.zeros((csr.n_rows, B.shape[1]), dtype=np.float32)
     p = plan(csr, feature_dim=B.shape[1], device=device, config=config)
-    return p.multiply(B)
+    return p.multiply(B, numerics=numerics)
 
 
 def spmm_many(
@@ -58,13 +65,17 @@ def spmm_many(
     Bs,
     device: DeviceSpec | str = "a800",
     config: AccConfig | None = None,
+    numerics=None,
 ) -> np.ndarray:
     """Batched ``C[i] = A @ Bs[i]`` through the process-wide engine.
 
     ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of 2-D
     matrices; the plan is fetched (or built) once and its tiles are
-    decompressed once for the whole batch.
+    decompressed once for the whole batch.  ``numerics`` selects a
+    :mod:`repro.tune` tier (see :func:`spmm`).
     """
     from repro.serve.engine import default_engine
 
-    return default_engine().multiply_many(A, Bs, device=device, config=config)
+    return default_engine().multiply_many(
+        A, Bs, device=device, config=config, numerics=numerics
+    )

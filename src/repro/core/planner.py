@@ -18,6 +18,7 @@ from repro.errors import ValidationError
 from repro.gpusim.counters import KernelProfile
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.kernels.accspmm import AccSpMMKernel
+from repro.kernels.base import SpMMKernel
 from repro.kernels.tc_common import TCPlan
 from repro.sparse.csr import CSRMatrix
 from repro.util.timing import Timer
@@ -33,61 +34,84 @@ class AccPlan:
     feature_dim: int
     tc_plan: TCPlan
     build_seconds: float
-    kernel: AccSpMMKernel = field(repr=False, default=None)  # type: ignore
+    kernel: SpMMKernel = field(repr=False, default=None)  # type: ignore
 
     # ------------------------------------------------------------------
-    def multiply(self, B: np.ndarray) -> np.ndarray:
-        """C = A @ B using the planned representation (TF32 numerics).
+    def multiply(self, B: np.ndarray, numerics=None) -> np.ndarray:
+        """C = A @ B using the planned representation.
 
         Served by the plan's prepared executor: the first call compiles
         the B-invariant execution state (decompressed pre-rounded tiles,
         gather positions, window segmentation) and steady-state calls
-        replay it — see :mod:`repro.kernels.executor`.
+        replay it — see :mod:`repro.kernels.executor`.  ``numerics``
+        selects a :mod:`repro.tune` tier (``"exact"`` — the bit-for-bit
+        default — ``"tf32"``, or ``"fast"``); each tier keeps its own
+        compiled executor on the plan, so mixing tiers does not thrash.
         """
         B = np.ascontiguousarray(B, dtype=np.float32)
         if B.ndim != 2 or B.shape[0] != self.csr.n_cols:
             raise ValidationError(
                 f"B must be ({self.csr.n_cols}, N); got {B.shape}"
             )
-        return self.kernel.execute(self.tc_plan, B)
+        return self.kernel.execute(self.tc_plan, B, numerics=numerics)
 
     def prepare(
         self,
         feature_dim: int | None = None,
         mode: str | None = None,
         max_bytes: int | None = None,
+        numerics=None,
     ) -> "AccPlan":
-        """Eagerly build the prepared executor (it is otherwise built
+        """Eagerly build a prepared executor (it is otherwise built
         lazily on the first multiply).
 
-        ``mode`` is ``"exact"`` (bit-for-bit with the reference path;
-        default) or ``"adaptive"`` (dense chunks may fuse RowWindows into
-        single GEMMs, reassociating fp32 accumulation).  ``max_bytes``
-        bounds dense-tile materialisation; over it, the executor falls
-        back to lazy per-chunk decompression.  Returns ``self``.
+        ``numerics`` compiles the executor serving that tier *without*
+        changing the plan's default; ``mode`` (legacy knob) changes the
+        default executor mode recorded in the plan meta — ``"exact"``
+        (bit-for-bit with the reference path; default), ``"adaptive"``
+        (dense chunks may fuse RowWindows into single GEMMs,
+        reassociating fp32 accumulation), or ``"fast"`` (fused chunks
+        and no TF32 input rounding).  ``max_bytes`` bounds dense-tile
+        materialisation; over it, the executor falls back to lazy
+        per-chunk decompression.  Returns ``self``.
         """
-        from repro.kernels.executor import get_executor
+        from repro.kernels.executor import EXEC_MODES, get_executor
 
         meta = self.tc_plan.meta
         if mode is not None:
-            if mode not in ("exact", "adaptive"):
+            if mode not in EXEC_MODES:
                 raise ValidationError(
-                    f"exec mode must be 'exact' or 'adaptive'; got {mode!r}"
+                    f"exec mode must be one of {', '.join(EXEC_MODES)}; "
+                    f"got {mode!r}"
                 )
-            if meta.get("exec_mode", "exact") != mode:
-                meta["exec_mode"] = mode
-                self.tc_plan.exec_cache = None  # recompile under new mode
+            # per-mode executors coexist in the cache dict, so changing
+            # the default needs no invalidation
+            meta["exec_mode"] = mode
         if max_bytes is not None and meta.get("exec_max_bytes") != int(max_bytes):
             meta["exec_max_bytes"] = int(max_bytes)
-            self.tc_plan.exec_cache = None
-        ex = get_executor(self.tc_plan)
+            self.tc_plan.exec_cache = None  # budget is baked into executors
+        ex = get_executor(self.tc_plan, numerics=numerics)
         ex.prepare_for(feature_dim or self.feature_dim)
         return self
 
     @property
     def executor(self):
-        """The prepared executor, or ``None`` before the first multiply."""
-        return self.tc_plan.exec_cache
+        """The prepared executor serving the plan's *default* mode, or
+        ``None`` before its first multiply (other tiers' executors may
+        exist; see :meth:`executor_for`)."""
+        cache = self.tc_plan.exec_cache
+        if not cache:
+            return None
+        return cache.get(self.tc_plan.meta.get("exec_mode", "exact"))
+
+    def executor_for(self, numerics=None):
+        """The compiled executor serving a numerics tier, or ``None``."""
+        from repro.kernels.executor import resolve_exec_mode
+
+        cache = self.tc_plan.exec_cache
+        if not cache:
+            return None
+        return cache.get(resolve_exec_mode(self.tc_plan, numerics))
 
     # ------------------------------------------------------------------
     def to_bytes(self, include_executor: bool = True) -> bytes:
@@ -167,11 +191,11 @@ class AccPlan:
             if perm is not None:
                 add(perm.order)
                 add(perm.rank)
-        if tc.exec_cache is not None:
-            total += tc.exec_cache.nbytes
+        for ex in (tc.exec_cache or {}).values():
+            total += ex.nbytes
         return total
 
-    def multiply_many(self, Bs) -> np.ndarray:
+    def multiply_many(self, Bs, numerics=None) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` in one pass over the plan.
 
         ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of
@@ -187,7 +211,7 @@ class AccPlan:
             raise ValidationError(
                 f"Bs must be (batch, {self.csr.n_cols}, N); got {Bs.shape}"
             )
-        return self.kernel.execute(self.tc_plan, Bs)
+        return self.kernel.execute(self.tc_plan, Bs, numerics=numerics)
 
     def profile(self, feature_dim: int | None = None) -> KernelProfile:
         """Simulated launch profile on the plan's device."""
@@ -208,7 +232,7 @@ class AccPlan:
             "mean_nnz_tc": round(self.tc_plan.tiling.mean_nnz_per_block(), 3),
             **self.tc_plan.meta,
         }
-        ex = self.tc_plan.exec_cache
+        ex = self.executor
         if ex is not None:
             out["executor"] = {
                 "materialized": ex.materialized,
@@ -219,19 +243,34 @@ class AccPlan:
         return out
 
 
-def kernel_for_config(cfg: AccConfig) -> AccSpMMKernel:
-    """The :class:`AccSpMMKernel` a configuration describes.
+def kernel_for_config(cfg: AccConfig, tuned=None) -> SpMMKernel:
+    """The kernel a configuration (plus optional tuned verdict) describes.
 
     Shared by :func:`plan` and the deserialisation path
     (:mod:`repro.serve.serial`), which must rebuild the exact kernel a
-    persisted plan was created with.
+    persisted plan was created with.  ``tuned`` — a
+    :class:`repro.tune.TunedConfig` — overrides the kernel choice and
+    tile geometry; without it the paper-default Acc-SpMM kernel on 8x8
+    tiles is built.
     """
+    shape = None
+    if tuned is not None:
+        shape = tuned.tile_shape
+        if tuned.kernel == "dtc":
+            from repro.kernels.dtc import DTCKernel
+
+            return DTCKernel(tile_shape=shape)
+        if tuned.kernel == "tcgnn":
+            from repro.kernels.tcgnn import TCGNNKernel
+
+            return TCGNNKernel(tile_shape=shape)
     return AccSpMMKernel(
         reorder=cfg.reorder,
         use_bittcf=cfg.use_bittcf,
         cache_policy=cfg.cache_policy,
         pipeline=cfg.pipeline_mode,
         load_balance="adaptive" if cfg.load_balance else "off",
+        tile_shape=shape,
     )
 
 
@@ -240,8 +279,17 @@ def plan(
     feature_dim: int = 128,
     device: DeviceSpec | str = "a800",
     config: AccConfig | None = None,
+    tuned=None,
+    autotune: bool = False,
 ) -> AccPlan:
-    """Build an :class:`AccPlan` (reorder, BitTCF conversion, TB schedule)."""
+    """Build an :class:`AccPlan` (reorder, BitTCF conversion, TB schedule).
+
+    ``tuned`` applies a precomputed :class:`repro.tune.TunedConfig`;
+    ``autotune=True`` runs :func:`repro.tune.autotune` first and applies
+    its verdict (ignored when ``tuned`` is given).  The verdict is
+    recorded in the plan meta and rides through serialisation, so a
+    stored plan never re-tunes.
+    """
     if csr.n_rows == 0 or csr.n_cols == 0:
         raise ValidationError(
             f"cannot plan a zero-dimension matrix (shape {csr.shape}); "
@@ -249,10 +297,16 @@ def plan(
         )
     cfg = config or AccConfig.paper_default()
     spec = get_device(device)
-    kernel = kernel_for_config(cfg)
+    if tuned is None and autotune:
+        from repro.tune.autotune import autotune as _autotune
+
+        tuned = _autotune(csr, feature_dim=feature_dim, device=spec)
+    kernel = kernel_for_config(cfg, tuned=tuned)
     timer = Timer()
     with timer:
         tc_plan = kernel.plan(csr, feature_dim, spec)
+    if tuned is not None:
+        tc_plan.meta["tuned"] = tuned.as_meta()
     return AccPlan(
         csr=csr,
         config=cfg,

@@ -110,6 +110,22 @@ class RowWindowTiling:
         """The paper's ``MeanNNZTC`` density metric (Figure 10)."""
         return self.nnz / self.n_blocks if self.n_blocks else 0.0
 
+    @property
+    def tile_shape(self) -> tuple[int, int]:
+        """``(window_rows, block_cols)`` — the geometry knob the
+        autotuner (:mod:`repro.tune`) searches over."""
+        return (self.window_rows, self.block_cols)
+
+    def mean_occupancy(self) -> float:
+        """Mean fraction of tile slots holding a non-zero (0..1).
+
+        ``mean_nnz_per_block / (window_rows * block_cols)`` — the
+        density signal behind the executor's fused-chunk heuristic and
+        the autotuner's fused hint, normalised so different tile shapes
+        compare on one scale."""
+        cells = self.window_rows * self.block_cols
+        return self.mean_nnz_per_block() / cells if cells else 0.0
+
     def block_columns(self, block: int) -> np.ndarray:
         """Original column ids of one block's slots (padding = -1)."""
         lo = block * self.block_cols

@@ -100,6 +100,13 @@ def batched_tile_mma(
     idempotent, results are bit-for-bit identical to the default path on
     pre-rounded operands.  Direct callers with raw fp32 operands keep the
     default, which rounds for them.
+
+    The ``fast`` numerics tier (:mod:`repro.tune.policy`) reuses this
+    entry point with *raw fp32* operands under ``assume_rounded=True`` —
+    deliberately breaking the TF32 promise to model full-precision
+    tensor-core input feeds.  That contract lives in the tier: callers
+    opt in through a :class:`~repro.tune.NumericsPolicy`, never by
+    passing unrounded operands here ad hoc.
     """
     if assume_rounded:
         return np.matmul(a_tiles, b_tiles)

@@ -55,6 +55,10 @@ class AccSpMMKernel(SpMMKernel):
     ``load_balance`` (default "adaptive")
         "adaptive" (Equation 3 gate + Equation 4 chunking), "always",
         or "off".
+    ``tile_shape`` (default the paper's 8x8)
+        ``(window_rows, block_cols)`` tile geometry — the autotuner
+        (:mod:`repro.tune`) picks a per-matrix shape from
+        :data:`repro.tune.space.TILE_SHAPES`.
     """
 
     name = "acc-spmm"
@@ -70,7 +74,13 @@ class AccSpMMKernel(SpMMKernel):
             reorder = identity_reorder(csr)
         csr_r = reorder.apply(csr) if not reorder.row_perm.is_identity() else csr
 
-        tiling = build_tiling(csr_r)
+        shape = opts.get("tile_shape")
+        if shape:
+            tiling = build_tiling(
+                csr_r, window_rows=int(shape[0]), block_cols=int(shape[1])
+            )
+        else:
+            tiling = build_tiling(csr_r)
         bit = BitTCF.from_csr(csr_r, tiling)
 
         lb = opts.get("load_balance", "adaptive")
@@ -111,10 +121,12 @@ class AccSpMMKernel(SpMMKernel):
             },
         )
 
-    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+    def execute(
+        self, plan: TCPlan, B: np.ndarray, numerics=None
+    ) -> np.ndarray:
         # served by the plan's prepared executor (built lazily, cached on
         # the plan) — steady-state calls pay only for B-dependent work
-        return execute_tiled(plan, B)
+        return execute_tiled(plan, B, numerics=numerics)
 
     def simulate(
         self, plan: TCPlan, feature_dim: int, device: DeviceSpec

@@ -47,8 +47,9 @@ class SpMMKernel(abc.ABC):
         """Preprocess the sparse matrix; returns an opaque plan object."""
 
     @abc.abstractmethod
-    def execute(self, plan, B: np.ndarray) -> np.ndarray:
-        """Numeric SpMM on the planned representation."""
+    def execute(self, plan, B: np.ndarray, numerics=None) -> np.ndarray:
+        """Numeric SpMM on the planned representation.  ``numerics``
+        selects a :mod:`repro.tune.policy` tier (default ``exact``)."""
 
     @abc.abstractmethod
     def simulate(self, plan, feature_dim: int, device: DeviceSpec) -> KernelProfile:

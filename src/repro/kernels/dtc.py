@@ -33,7 +33,8 @@ class DTCKernel(SpMMKernel):
     """DTC-SpMM: ME-TCF + DTC-LSH + DTC pipeline + chunk balancing.
 
     Options: ``reorder`` (True | False | ReorderResult), ``load_balance``
-    (default True; DTC also gates on imbalance).
+    (default True; DTC also gates on imbalance), ``tile_shape``
+    (``(window_rows, block_cols)``, default 8x8).
     """
 
     name = "dtc-spmm"
@@ -49,7 +50,13 @@ class DTCKernel(SpMMKernel):
             reorder = identity_reorder(csr)
         csr_r = reorder.apply(csr) if not reorder.row_perm.is_identity() else csr
 
-        tiling = build_tiling(csr_r)
+        shape = opts.get("tile_shape")
+        if shape:
+            tiling = build_tiling(
+                csr_r, window_rows=int(shape[0]), block_cols=int(shape[1])
+            )
+        else:
+            tiling = build_tiling(csr_r)
         # metcf's row-major value layout is format detail; the numeric
         # executor consumes the tiling-packed order shared by all kernels
         vals_packed = csr_r.vals[tiling.perm_nnz]
@@ -79,9 +86,11 @@ class DTCKernel(SpMMKernel):
             },
         )
 
-    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+    def execute(
+        self, plan: TCPlan, B: np.ndarray, numerics=None
+    ) -> np.ndarray:
         # shares the prepared-executor path with all TC kernels
-        return execute_tiled(plan, B)
+        return execute_tiled(plan, B, numerics=numerics)
 
     def simulate(
         self, plan: TCPlan, feature_dim: int, device: DeviceSpec

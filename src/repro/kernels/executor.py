@@ -50,11 +50,23 @@ Strategies are chosen per chunk by density:
   falls back to:
 * ``"reduceat"`` — the reference's own segmented sum (bit-for-bit by
   construction).
-* ``"fused"`` — high-``MeanNNZTC`` chunks in the opt-in ``"adaptive"``
-  mode run one dense GEMM per RowWindow group (blocks concatenated
-  along K).  This reassociates the fp32 accumulation, so it is *not*
-  bit-for-bit with the reference — it stays within a few ULP and is
-  only used when the caller asks for ``exec_mode="adaptive"``.
+* ``"fused"`` — high-``MeanNNZTC`` chunks in the reassociating modes
+  (``"adaptive"``/``"fast"``) run one dense GEMM per RowWindow group
+  (blocks concatenated along K).  This reassociates the fp32
+  accumulation, so it is *not* bit-for-bit with the reference — it
+  stays within the documented tier error bound
+  (:meth:`repro.tune.NumericsPolicy.error_bound`).
+
+Executor modes implement the numerics tiers of :mod:`repro.tune.policy`
+(callers select a tier, not a mode — see :func:`resolve_exec_mode`):
+``"exact"`` (the ``exact`` tier) restricts strategies to the bit-for-bit
+set; ``"adaptive"`` (the ``tf32`` tier) additionally fuses dense chunks;
+``"fast"`` (the ``fast`` tier) fuses *and* elides TF32 input rounding —
+``B`` and the packed A values are consumed as raw fp32, removing the
+per-call rounding pass over ``B`` entirely.  A plan can hold one
+compiled executor per mode simultaneously (``exec_cache`` is a
+mode-keyed dict), sharing the value-independent gather geometry, so
+mixed-tier traffic against one cached plan never thrashes.
 """
 
 from __future__ import annotations
@@ -64,8 +76,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.gpusim.tensorcore import batched_tile_mma, tf32_round
 from repro.util.ragged import ragged_gather_indices
+
+#: The executor-mode vocabulary (``plan.meta["exec_mode"]`` /
+#: ``TCExecPlan.mode``); each numerics tier maps onto exactly one mode
+#: (see :mod:`repro.tune.policy`).
+EXEC_MODES = ("exact", "adaptive", "fast")
 
 #: Dense-tile materialisation budget (per plan) before the executor
 #: falls back to lazy per-chunk decompression.
@@ -229,32 +247,66 @@ class TCExecPlan:
         ``"exact"`` (default): strategies restricted to the bit-for-bit
         ``"direct"``/``"reduceat"`` paths.  ``"adaptive"``: dense chunks
         may use the ``"fused"`` GEMM strategy (fp32 reassociation).
+        ``"fast"``: fused chunks *and* no TF32 input rounding.  The
+        ``mode`` constructor argument overrides the meta default, which
+        is how one plan serves several numerics tiers at once.
     ``exec_chunk_elems``
         Slab-size target override (tests force multi-chunk execution on
         small matrices with it).
+
+    ``geometry_from`` donates the value-independent arrays (gather
+    positions, pad slots, output permutation, scatter indices) of an
+    already-built sibling executor on the *same tiling* — the per-mode
+    executors of one plan share that geometry instead of recomputing it.
     """
 
-    def __init__(self, plan, structural: tuple | None = None) -> None:
+    def __init__(
+        self,
+        plan,
+        structural: tuple | None = None,
+        mode: str | None = None,
+        geometry_from: "TCExecPlan | None" = None,
+    ) -> None:
         t = plan.tiling
         self.tiling = t
         #: identity of the packed values this executor was compiled from;
         #: value refreshes swap ``vals_packed``, invalidating us
         self.vals_ref = plan.vals_packed
-        self.mode = plan.meta.get("exec_mode", "exact")
+        self.mode = plan.meta.get("exec_mode", "exact") if mode is None else mode
+        if self.mode not in EXEC_MODES:
+            raise ValidationError(
+                f"exec mode must be one of {', '.join(EXEC_MODES)}; "
+                f"got {self.mode!r}"
+            )
+        #: whether operands are TF32-rounded before the MMA (every mode
+        #: except ``"fast"``)
+        self.rounds_inputs = self.mode != "fast"
         self.max_bytes = plan.meta.get(
             "exec_max_bytes", DEFAULT_MAX_MATERIALIZED_BYTES
         )
         self.chunk_elems = plan.meta.get("exec_chunk_elems", CHUNK_TARGET_ELEMS)
+        tuned = plan.meta.get("tuned")
+        #: the autotuner's fuse-or-not verdict (None: fall back to the
+        #: per-chunk density heuristic)
+        self._fused_hint = (
+            tuned.get("fused") if isinstance(tuned, dict) else None
+        )
         self.stats = ExecStats()
         self._lock = threading.Lock()
         self._programs: dict[int, list[_ChunkProgram]] = {}
         self._pool = _BufferPool()
+
+        donor = geometry_from
+        if donor is not None and donor.tiling is not t:
+            donor = None  # geometry is tiling-derived; mismatched donors lie
 
         wr, bc = t.window_rows, t.block_cols
         restored = self._check_structural(structural, plan)
         if restored is not None:
             #: output rows in original order: original row r lives at rank[r]
             self.out_rank = restored["out_rank"]
+        elif donor is not None:
+            self.out_rank = donor.out_rank
         else:
             self.out_rank = plan.reorder.row_perm.rank[: plan.n_rows_original]
 
@@ -268,13 +320,21 @@ class TCExecPlan:
             return
 
         # A-side values: TF32 rounding is value-invariant across calls,
-        # so round once here instead of once per multiply.
-        self.vals_rounded = tf32_round(plan.vals_packed)
+        # so round once here instead of once per multiply.  The fast mode
+        # consumes the packed fp32 values as-is (the attribute keeps its
+        # name; "rounded" then means "as the MMA will see them").
+        self.vals_rounded = (
+            tf32_round(plan.vals_packed)
+            if self.rounds_inputs
+            else np.ascontiguousarray(plan.vals_packed, dtype=np.float32)
+        )
 
         # flat scatter index of each nnz into the dense (n_blocks, wr, bc)
         # tile stack — the decompression the reference re-derives per call
         if restored is not None and restored.get("scatter_flat") is not None:
             self.scatter_flat = restored["scatter_flat"]
+        elif donor is not None and donor.scatter_flat is not None:
+            self.scatter_flat = donor.scatter_flat
         else:
             counts = t.nnz_per_block()
             block_of_nnz = np.repeat(
@@ -303,6 +363,9 @@ class TCExecPlan:
         if restored is not None:
             self.pos_all = restored["pos_all"]
             self.pad_all = restored["pad_all"]
+        elif donor is not None:
+            self.pos_all = donor.pos_all
+            self.pad_all = donor.pad_all
         else:
             slots = t.sparse_a_to_b
             self.pos_all = np.maximum(slots, 0)
@@ -464,9 +527,13 @@ class TCExecPlan:
             if (seg_len == 1).all():
                 strategy = "direct"
             elif (
-                self.mode == "adaptive"
+                self.mode != "exact"
                 and self.materialized
-                and mean_nnz >= FUSED_DENSITY_THRESHOLD
+                and (
+                    self._fused_hint
+                    if self._fused_hint is not None
+                    else mean_nnz >= FUSED_DENSITY_THRESHOLD
+                )
             ):
                 strategy = "fused"
             elif _stepped_replica_ok():
@@ -630,7 +697,11 @@ class TCExecPlan:
                     for i in range(batch):
                         if i:
                             acc.fill(0.0)
-                        B_r_i = tf32_round(B[i])
+                        B_r_i = (
+                            tf32_round(B[i])
+                            if self.rounds_inputs
+                            else np.asarray(B[i], dtype=np.float32)
+                        )
                         for cp in prog:
                             self._run_chunk(
                                 cp, self._chunk_tiles(cp), B_r_i, acc, buf, n
@@ -639,7 +710,11 @@ class TCExecPlan:
                 else:
                     # lazy tiles + multi-B: decompress each chunk once
                     # and share it across the whole batch
-                    B_r = tf32_round(B)
+                    B_r = (
+                        tf32_round(B)
+                        if self.rounds_inputs
+                        else np.asarray(B, dtype=np.float32)
+                    )
                     accs = np.zeros(
                         (batch, t.n_windows, wr, n), dtype=np.float32
                     )
@@ -697,21 +772,48 @@ class TCExecPlan:
 
 
 # ----------------------------------------------------------------------
-def get_executor(plan) -> TCExecPlan:
-    """The plan's cached executor, (re)built when missing or stale.
+def resolve_exec_mode(plan, numerics=None) -> str:
+    """The executor mode serving a request: the plan's own default
+    (``meta["exec_mode"]``, ``"exact"`` when unset) unless the caller
+    passed a ``numerics=`` tier, which is resolved through
+    :func:`repro.tune.resolve_policy` and wins."""
+    if numerics is None:
+        return plan.meta.get("exec_mode", "exact")
+    from repro.tune.policy import resolve_policy
 
-    The executor bakes in ``vals_packed`` (rounded values, materialised
-    tiles), so a value refresh — which swaps ``vals_packed`` on a copied
-    plan — must not reuse it; staleness is detected by array identity.
-    A benign race may build twice under concurrency; both results are
-    correct and one wins the cache slot.
+    return resolve_policy(numerics).exec_mode
+
+
+def get_executor(plan, numerics=None) -> TCExecPlan:
+    """The plan's cached executor for a numerics tier, (re)built when
+    missing or stale.
+
+    ``plan.exec_cache`` is a mode-keyed dict — one compiled executor per
+    executor mode — so mixed-tier traffic against a single cached plan
+    reuses, never evicts.  Sibling executors donate their
+    value-independent gather geometry to new modes.  Executors bake in
+    ``vals_packed`` (rounded values, materialised tiles), so a value
+    refresh — which swaps ``vals_packed`` on a copied plan — must not
+    reuse them; staleness is detected by array identity and stale
+    entries of *every* mode are dropped together.  A benign race may
+    build twice under concurrency; both results are correct and one wins
+    the cache slot.
     """
-    ex = getattr(plan, "exec_cache", None)
+    mode = resolve_exec_mode(plan, numerics)
+    cache = getattr(plan, "exec_cache", None)
+    if cache is None:
+        cache = {}
+        plan.exec_cache = cache
+    ex = cache.get(mode)
     if ex is not None and ex.vals_ref is plan.vals_packed:
         return ex
+    for m, e in list(cache.items()):
+        if e.vals_ref is not plan.vals_packed:
+            cache.pop(m, None)
+    donor = next(iter(cache.values()), None)
     structural = getattr(plan, "exec_structural", None)
-    ex = TCExecPlan(plan, structural=structural)
-    plan.exec_cache = ex
+    ex = TCExecPlan(plan, structural=structural, mode=mode, geometry_from=donor)
+    cache[mode] = ex
     if structural is not None:
         plan.exec_structural = None  # consumed (or rejected) either way
     return ex

@@ -55,10 +55,12 @@ class TCPlan:
     cache_policy_control: bool
     n_rows_original: int
     meta: dict = field(default_factory=dict)
-    #: lazily-built prepared executor (:class:`TCExecPlan`).  ``init=False``
-    #: so ``dataclasses.replace`` — the value-refresh path — resets it to
-    #: ``None``: the executor bakes in ``vals_packed`` and must never
-    #: survive a value swap.
+    #: lazily-built prepared executors: an exec-mode-keyed dict
+    #: ``{mode: TCExecPlan}`` so one cached plan serves every numerics
+    #: tier at once (see :func:`~repro.kernels.executor.get_executor`).
+    #: ``init=False`` so ``dataclasses.replace`` — the value-refresh path
+    #: — resets it to ``None``: executors bake in ``vals_packed`` and
+    #: must never survive a value swap.
     exec_cache: object = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -76,15 +78,17 @@ class TCPlan:
 # ----------------------------------------------------------------------
 # numeric path
 # ----------------------------------------------------------------------
-def execute_tiled(plan: TCPlan, B: np.ndarray) -> np.ndarray:
+def execute_tiled(plan: TCPlan, B: np.ndarray, numerics=None) -> np.ndarray:
     """Numeric SpMM over the tiled representation (TF32 inputs, fp32 acc).
 
     ``B`` may be a single ``(K, N)`` right-hand side or a batched
     ``(batch, K, N)`` stack.  The call is served by the plan's prepared
     executor — built lazily on the first multiply and cached on the plan
-    — so steady-state calls only pay for the B-dependent work; results
-    are bit-for-bit identical to :func:`execute_tiled_reference`, which
-    re-derives all B-invariant state per call.
+    — so steady-state calls only pay for the B-dependent work; under the
+    default ``exact`` numerics tier, results are bit-for-bit identical to
+    :func:`execute_tiled_reference`, which re-derives all B-invariant
+    state per call.  ``numerics`` selects a different tier (see
+    :mod:`repro.tune.policy`) with its documented error bound.
 
     The output rows are returned in the *original* ordering — the planner
     undoes the row relabeling, matching a real kernel writing through the
@@ -92,7 +96,7 @@ def execute_tiled(plan: TCPlan, B: np.ndarray) -> np.ndarray:
     """
     from repro.kernels.executor import get_executor
 
-    return get_executor(plan).execute(B)
+    return get_executor(plan, numerics=numerics).execute(B)
 
 
 def execute_tiled_reference(

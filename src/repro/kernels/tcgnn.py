@@ -28,13 +28,22 @@ from repro.sparse.csr import CSRMatrix
 
 
 class TCGNNKernel(SpMMKernel):
-    """TCGNN-SpMM: TCF + SGT condensation + synchronous execution."""
+    """TCGNN-SpMM: TCF + SGT condensation + synchronous execution.
+
+    Options: ``tile_shape`` (``(window_rows, block_cols)``, default 8x8).
+    """
 
     name = "tcgnn-spmm"
 
     def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec) -> TCPlan:
         reorder = sgt_reorder(csr)  # identity rows; condensation in tiling
-        tiling = build_tiling(csr)
+        shape = self.options.get("tile_shape")
+        if shape:
+            tiling = build_tiling(
+                csr, window_rows=int(shape[0]), block_cols=int(shape[1])
+            )
+        else:
+            tiling = build_tiling(csr)
         tcf = TCF.from_csr(csr, tiling)
         schedule = row_window_schedule(tiling)
         schedule.validate_against(tiling)
@@ -57,9 +66,11 @@ class TCGNNKernel(SpMMKernel):
             },
         )
 
-    def execute(self, plan: TCPlan, B: np.ndarray) -> np.ndarray:
+    def execute(
+        self, plan: TCPlan, B: np.ndarray, numerics=None
+    ) -> np.ndarray:
         # shares the prepared-executor path with all TC kernels
-        return execute_tiled(plan, B)
+        return execute_tiled(plan, B, numerics=numerics)
 
     def simulate(
         self, plan: TCPlan, feature_dim: int, device: DeviceSpec

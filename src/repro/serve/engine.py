@@ -38,6 +38,7 @@ from repro.serve.fingerprint import fingerprint
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.tune.policy import resolve_policy
 from repro.util.timing import Timer
 
 
@@ -98,6 +99,18 @@ class SpMMEngine:
         long are expired whenever cache limits are enforced, so a matrix
         that stops arriving stops pinning memory (counted in
         ``stats["expirations"]``; see :mod:`repro.serve.cache`).
+    numerics:
+        Default numerics tier for requests that do not name their own —
+        ``"exact"`` (bit-for-bit, the default), ``"tf32"``, ``"fast"``,
+        or a :class:`repro.tune.NumericsPolicy` (see
+        ``docs/NUMERICS.md``).  A per-request ``numerics=`` on
+        :meth:`spmm`/:meth:`multiply_many` wins over this default.
+    autotune:
+        Run the per-matrix autotuner (:func:`repro.tune.autotune`) on
+        cache-miss builds, baking the winning tile shape, kernel, and
+        strategy hint into the plan.  The verdict persists with the plan
+        (container v3), so with a store attached tuning happens at most
+        once per matrix across processes.
     device, config:
         Defaults applied when a request does not name its own.
 
@@ -125,6 +138,8 @@ class SpMMEngine:
         store=None,
         policy: str = "lru",
         max_idle_seconds: float | None = None,
+        numerics=None,
+        autotune: bool = False,
     ) -> None:
         # the lock exists before the state it guards, so the cache can
         # carry an owner_lock reference for its own held-lock assertion
@@ -146,6 +161,10 @@ class SpMMEngine:
         self.default_device = get_device(device)
         self.default_config = config or AccConfig.paper_default()
         self.exec_max_bytes = exec_max_bytes
+        #: engine-default numerics tier (validated up front, so a typo
+        #: fails at construction rather than on the first request)
+        self.default_numerics = resolve_policy(numerics)
+        self.autotune = bool(autotune)
         #: per-key locks so a slow plan build only blocks same-key requests
         self._build_locks: dict = {}
 
@@ -203,18 +222,33 @@ class SpMMEngine:
                         # process opting into the reassociating adaptive
                         # strategy must not silently extend to this one;
                         # likewise the writer's materialisation budget —
-                        # this engine re-applies its own below
+                        # this engine re-applies its own below.  "tuned"
+                        # is deliberately NOT scrubbed: it is derived
+                        # from the matrix, not from any requester's
+                        # policy, and dropping it would waste the
+                        # amortised autotuning.
                         p.tc_plan.meta.pop("exec_mode", None)
                         p.tc_plan.meta.pop("exec_max_bytes", None)
                 if p is None and base is not None:
                     p = self._refresh_values(base, csr)
                 if p is None:
                     p = build_plan(
-                        csr, feature_dim=feature_dim, device=spec, config=cfg
+                        csr,
+                        feature_dim=feature_dim,
+                        device=spec,
+                        config=cfg,
+                        autotune=self.autotune,
                     )
                     outcome = "build"
                 if self.exec_max_bytes is not None:
                     p.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+                if outcome == "build" and self.store is not None:
+                    # compile the executor now, before persisting, so the
+                    # stored entry carries the exec structural payload —
+                    # without this the engine always wrote plans before
+                    # any executor existed and warm-started workers
+                    # re-derived exec preparation from scratch
+                    p.prepare(feature_dim)
                 with self._lock:
                     stats = self.cache.stats
                     if outcome == "refresh":
@@ -345,6 +379,7 @@ class SpMMEngine:
         which doubles as an integrity check on the mapped arrays.
         Returns ``False`` when the content is already cached.
         """
+        # scrub requester policy, keep the matrix-derived "tuned" verdict
         plan_obj.tc_plan.meta.pop("exec_mode", None)
         plan_obj.tc_plan.meta.pop("exec_max_bytes", None)
         if self.exec_max_bytes is not None:
@@ -369,13 +404,15 @@ class SpMMEngine:
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
         fp=None,
+        numerics=None,
     ) -> np.ndarray:
         """``C = A @ B`` through the plan cache.
 
         Zero-dimension operands (e.g. an empty mini-batch selection) are
         answered directly — their product is trivially empty and the
         planner cannot tile them.  ``fp`` optionally carries ``A``'s
-        precomputed fingerprint (see :meth:`get_plan`)."""
+        precomputed fingerprint (see :meth:`get_plan`).  ``numerics``
+        overrides the engine's default tier for this request only."""
         B = np.asarray(B)  # dtype coercion is AccPlan.multiply's job
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         if csr.n_rows == 0 or csr.n_cols == 0:
@@ -384,11 +421,16 @@ class SpMMEngine:
                     f"B must be ({csr.n_cols}, N); got {B.shape}"
                 )
             return np.zeros((csr.n_rows, B.shape[1]), dtype=np.float32)
+        policy = (
+            resolve_policy(numerics)
+            if numerics is not None
+            else self.default_numerics
+        )
         p = self.get_plan(
             csr, feature_dim=B.shape[-1], device=device, config=config, fp=fp
         )
-        was_prepared = self._is_prepared(p, B.shape[-1])
-        C = p.multiply(B)
+        was_prepared = self._is_prepared(p, B.shape[-1], policy)
+        C = p.multiply(B, numerics=policy)
         # only a multiply that built executor state can have grown the
         # entry enough to matter; steady-state hits skip the re-check
         # (and its O(entries) byte walk under the engine lock)
@@ -404,13 +446,15 @@ class SpMMEngine:
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
         fp=None,
+        numerics=None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` through the plan cache.
 
         ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of 2-D
         matrices; the cached plan's tiles are decompressed once for the
         whole batch.  ``fp`` optionally carries ``A``'s precomputed
-        fingerprint (see :meth:`get_plan`).
+        fingerprint (see :meth:`get_plan`); ``numerics`` overrides the
+        engine's default tier for this request only.
         """
         if not isinstance(Bs, np.ndarray):
             Bs = np.stack([np.asarray(b) for b in Bs])
@@ -423,21 +467,27 @@ class SpMMEngine:
             return np.zeros(
                 (Bs.shape[0], csr.n_rows, Bs.shape[2]), dtype=np.float32
             )
+        policy = (
+            resolve_policy(numerics)
+            if numerics is not None
+            else self.default_numerics
+        )
         p = self.get_plan(
             csr, feature_dim=Bs.shape[-1], device=device, config=config, fp=fp
         )
-        was_prepared = self._is_prepared(p, Bs.shape[-1])
-        Cs = p.multiply_many(Bs)
+        was_prepared = self._is_prepared(p, Bs.shape[-1], policy)
+        Cs = p.multiply_many(Bs, numerics=policy)
         if not was_prepared:
             with self._lock:
                 self.cache.enforce_limits()
         return Cs
 
     @staticmethod
-    def _is_prepared(p: AccPlan, feature_dim: int) -> bool:
-        """True when a multiply at ``feature_dim`` will compile nothing
-        (executor built and its chunk program for this N-class cached)."""
-        ex = p.executor
+    def _is_prepared(p: AccPlan, feature_dim: int, numerics=None) -> bool:
+        """True when a multiply at ``feature_dim`` under ``numerics``
+        will compile nothing (that tier's executor is built and its
+        chunk program for this N-class cached)."""
+        ex = p.executor_for(numerics)
         return ex is not None and ex.is_prepared_for(feature_dim)
 
     # ------------------------------------------------------------------
@@ -474,12 +524,18 @@ class SpMMEngine:
             capacity = self.cache.capacity
             max_bytes = self.cache.max_bytes
             policy = self.cache.policy
-        executors = [
-            ex
+        # exec_cache is a mode-keyed dict: count plans with at least one
+        # compiled executor, sum prep accounting over every mode
+        per_plan = [
+            list(
+                (
+                    getattr(getattr(p, "tc_plan", None), "exec_cache", None)
+                    or {}
+                ).values()
+            )
             for p in plans
-            if (ex := getattr(getattr(p, "tc_plan", None), "exec_cache", None))
-            is not None
         ]
+        executors = [ex for exs in per_plan for ex in exs]
         out = {
             **counters,
             "cached_plans": len(plans),
@@ -487,7 +543,7 @@ class SpMMEngine:
             "cached_bytes": cached_bytes,
             "max_bytes": max_bytes,
             "policy": policy,
-            "prepared_plans": len(executors),
+            "prepared_plans": sum(1 for exs in per_plan if exs),
             "prepared_bytes": sum(ex.nbytes for ex in executors),
             "prep_hits": sum(ex.stats.prep_hits for ex in executors),
             "prep_misses": sum(ex.stats.prep_misses for ex in executors),

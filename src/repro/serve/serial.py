@@ -29,7 +29,9 @@ payload schema changes.  Readers accept the closed range
 [:data:`MIN_PLAN_FORMAT_VERSION`, :data:`PLAN_FORMAT_VERSION`] — older
 versions inside the range load with defaults for fields they predate
 (v1 containers lack the ``saved_at`` timestamp v2 added for the store's
-TTL policy) — and reject everything else with
+TTL policy; v1/v2 lack the ``tuned`` header block v3 added for the
+autotuner, and load as untuned paper-default plans) — and reject
+everything else with
 :class:`~repro.errors.StoreVersionError`, naming both the found and the
 supported versions (the store quarantines such entries, and the
 ``.reason`` sidecar carries that message — replanning is always safe,
@@ -60,11 +62,14 @@ from repro.kernels.tc_common import TCPlan
 from repro.reorder.base import Permutation, ReorderResult
 from repro.serve.fingerprint import MatrixFingerprint, config_fingerprint
 from repro.sparse.csr import CSRMatrix
+from repro.tune.space import TunedConfig
 
 #: Bump on any change to the container or payload schema.  Writers emit
 #: this version; v2 added the ``saved_at`` wall-clock header field that
-#: feeds the store's TTL/staleness policy.
-PLAN_FORMAT_VERSION = 2
+#: feeds the store's TTL/staleness policy; v3 added the ``tuned`` header
+#: block recording the autotuner's verdict (kernel, tile shape, fused
+#: hint) so a warm-started worker rebuilds the exact tuned kernel.
+PLAN_FORMAT_VERSION = 3
 
 #: Oldest version this build still reads.  Versions in
 #: [MIN_PLAN_FORMAT_VERSION, PLAN_FORMAT_VERSION] load (missing newer
@@ -510,6 +515,12 @@ def plan_payload(p: AccPlan, include_executor: bool = True) -> tuple[dict, dict]
             "values": fp.values,
         },
     }
+    # format v3: the autotuner's verdict, promoted from the plan meta to
+    # the header so the store's header-only scan (and `store inspect`)
+    # can show it without deserialising the payload
+    tuned = p.tc_plan.meta.get("tuned")
+    if isinstance(tuned, dict):
+        top["tuned"] = dict(tuned)
     ex = p.executor
     if include_executor and ex is not None:
         ex_meta, ex_arrays = ex.structural_payload()
@@ -532,6 +543,12 @@ def plan_from_payload(meta: dict, arrays: dict) -> AccPlan:
         device = get_device(meta["device"])
         csr = _csr_from("csr", meta["tc"]["csr"], arrays)
         tc = tcplan_from_payload(meta["tc"], arrays, csr=csr)
+        # v3 header block first; tolerate its absence (v1/v2) or a
+        # malformed dict (from_meta returns None) by falling back to the
+        # copy the plan meta carries, then to the untuned default kernel
+        tuned = TunedConfig.from_meta(meta.get("tuned"))
+        if tuned is None:
+            tuned = TunedConfig.from_meta(tc.meta.get("tuned"))
         if "exec" in meta:
             tc.exec_structural = (
                 dict(meta["exec"]),
@@ -548,7 +565,7 @@ def plan_from_payload(meta: dict, arrays: dict) -> AccPlan:
             feature_dim=int(meta["feature_dim"]),
             tc_plan=tc,
             build_seconds=float(meta["build_seconds"]),
-            kernel=kernel_for_config(cfg),
+            kernel=kernel_for_config(cfg, tuned=tuned),
         )
     except StoreError:
         raise

@@ -25,10 +25,15 @@ the serving layer out:
   (``stats["async"]["coalesced_waits"]``).
 
 Both track per-tenant request counters when callers tag requests with
-``tenant=``.  ``docs/CONCURRENCY.md`` covers the routing and coalescing
-design, the thread-safety guarantees, and the multi-worker operations
-runbook; ``benchmarks/bench_sharded_engine.py`` measures the throughput
-effect under a 16-thread mixed-tenant workload.
+``tenant=``, and both speak the :mod:`repro.tune` numerics tiers: a
+fleet-wide default (``numerics=`` at construction), a per-tenant tier
+(:meth:`ShardedSpMMEngine.set_tenant_numerics`), and a per-request
+override — request beats tenant beats engine default.
+``docs/CONCURRENCY.md`` covers the routing and coalescing design, the
+thread-safety guarantees, and the multi-worker operations runbook;
+``docs/NUMERICS.md`` the tier semantics;
+``benchmarks/bench_sharded_engine.py`` measures the throughput effect
+under a 16-thread mixed-tenant workload.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from repro.core.planner import AccPlan
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.serve.engine import SpMMEngine, set_default_engine
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint
+from repro.tune.policy import resolve_policy
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -74,18 +80,28 @@ class ShardedSpMMEngine:
     exec_max_bytes, policy, max_idle_seconds, device, config:
         Forwarded to every shard engine (see
         :class:`~repro.serve.engine.SpMMEngine`).
+    numerics, autotune:
+        Fleet-wide numerics tier default and per-plan autotuning flag,
+        forwarded to every shard engine.  Per-tenant tiers
+        (:meth:`set_tenant_numerics`) and per-request ``numerics=``
+        overrides layer on top: request beats tenant beats this default.
+        See ``docs/NUMERICS.md``.
     tenant:
         ``spmm``/``multiply_many`` accept an optional ``tenant=`` tag;
-        tagged traffic is counted per tenant in ``stats["tenants"]``.
+        tagged traffic is counted per tenant in ``stats["tenants"]``
+        and served at the tenant's numerics tier when one is set.
 
     Thread safety: fully concurrent.  Routing is stateless, each shard
-    locks independently, and the tenant counters take a dedicated lock
-    only long enough to bump integers.
+    locks independently, and the tenant counters and tier map take a
+    dedicated lock only long enough to touch a dict.
     """
 
     #: lock discipline, enforced statically (REP101) and — under
     #: REPRO_LOCK_SANITIZER=1 — dynamically (repro.analysis.runtime)
-    _GUARDED_BY_ = {"_tenants": "_tenant_lock"}
+    _GUARDED_BY_ = {
+        "_tenants": "_tenant_lock",
+        "_tenant_numerics": "_tenant_lock",
+    }
 
     def __init__(
         self,
@@ -98,6 +114,8 @@ class ShardedSpMMEngine:
         store=None,
         policy: str = "lru",
         max_idle_seconds: float | None = None,
+        numerics=None,
+        autotune: bool = False,
     ) -> None:
         if not 1 <= int(n_shards) <= 256:
             raise ValueError(f"n_shards must be in 1..256; got {n_shards}")
@@ -122,11 +140,16 @@ class ShardedSpMMEngine:
                 store=store,
                 policy=policy,
                 max_idle_seconds=max_idle_seconds,
+                numerics=numerics,
+                autotune=autotune,
             )
             for _ in range(self.n_shards)
         ]
         self._tenant_lock = create_lock("ShardedSpMMEngine._tenant_lock")
         self._tenants: dict[str, dict] = {}
+        #: tenant -> NumericsPolicy served when the request itself does
+        #: not pass ``numerics=`` (request override always wins)
+        self._tenant_numerics: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # routing
@@ -152,6 +175,41 @@ class ShardedSpMMEngine:
             )
             t[field] += 1
 
+    # ------------------------------------------------------------------
+    # per-tenant numerics tiers
+    # ------------------------------------------------------------------
+    def set_tenant_numerics(self, tenant, numerics) -> None:
+        """Pin (or clear) a tenant's default numerics tier.
+
+        ``numerics`` is a tier name or
+        :class:`~repro.tune.NumericsPolicy`; ``None`` clears the pin so
+        the tenant falls back to the engine default.  The tier applies
+        to every subsequent tagged request that does not carry its own
+        ``numerics=`` override."""
+        if tenant is None:
+            raise ValueError("tenant must not be None")
+        if numerics is None:
+            with self._tenant_lock:
+                self._tenant_numerics.pop(str(tenant), None)
+            return
+        policy = resolve_policy(numerics)  # validate outside the lock
+        with self._tenant_lock:
+            self._tenant_numerics[str(tenant)] = policy
+
+    def tenant_numerics_for(self, tenant):
+        """The tenant's pinned :class:`~repro.tune.NumericsPolicy`, or
+        ``None`` when unpinned (engine default applies)."""
+        if tenant is None:
+            return None
+        with self._tenant_lock:
+            return self._tenant_numerics.get(str(tenant))
+
+    def _resolve_numerics(self, numerics, tenant):
+        """Request override > tenant pin > engine default (``None``)."""
+        if numerics is not None:
+            return numerics
+        return self.tenant_numerics_for(tenant)
+
     @property
     def default_device(self):
         return self.shards[0].default_device
@@ -159,6 +217,10 @@ class ShardedSpMMEngine:
     @property
     def default_config(self):
         return self.shards[0].default_config
+
+    @property
+    def default_numerics(self):
+        return self.shards[0].default_numerics
 
     # ------------------------------------------------------------------
     # the engine interface, routed
@@ -171,23 +233,29 @@ class ShardedSpMMEngine:
         config: AccConfig | None = None,
         fp: MatrixFingerprint | None = None,
         tenant=None,
+        numerics=None,
     ) -> np.ndarray:
         """``C = A @ B`` through the owning shard's plan cache.
 
         Bit-for-bit identical to the same request on an unsharded
         engine.  ``fp`` optionally skips re-fingerprinting (see
         :meth:`SpMMEngine.get_plan`); ``tenant`` tags the request in the
-        per-tenant stats."""
+        per-tenant stats and selects the tenant's pinned numerics tier;
+        ``numerics`` overrides both the tenant pin and the engine
+        default for this request."""
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         self._note_tenant(tenant, "requests")
+        numerics = self._resolve_numerics(numerics, tenant)
         if csr.n_rows == 0 or csr.n_cols == 0:
             # trivially empty; shard 0 validates and answers (no plan
             # is built, so placement is irrelevant)
-            return self.shards[0].spmm(csr, B, device=device, config=config)
+            return self.shards[0].spmm(
+                csr, B, device=device, config=config, numerics=numerics
+            )
         if fp is None:
             fp = fingerprint(csr)
         return self._shard_for(fp).spmm(
-            csr, B, device=device, config=config, fp=fp
+            csr, B, device=device, config=config, fp=fp, numerics=numerics
         )
 
     def multiply_many(
@@ -198,19 +266,24 @@ class ShardedSpMMEngine:
         config: AccConfig | None = None,
         fp: MatrixFingerprint | None = None,
         tenant=None,
+        numerics=None,
     ) -> np.ndarray:
-        """Batched ``C[i] = A @ Bs[i]`` through the owning shard."""
+        """Batched ``C[i] = A @ Bs[i]`` through the owning shard.
+
+        Numerics precedence matches :meth:`spmm`: request override >
+        tenant pin > engine default."""
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         self._note_tenant(tenant, "requests")
         self._note_tenant(tenant, "batched_requests")
+        numerics = self._resolve_numerics(numerics, tenant)
         if csr.n_rows == 0 or csr.n_cols == 0:
             return self.shards[0].multiply_many(
-                csr, Bs, device=device, config=config
+                csr, Bs, device=device, config=config, numerics=numerics
             )
         if fp is None:
             fp = fingerprint(csr)
         return self._shard_for(fp).multiply_many(
-            csr, Bs, device=device, config=config, fp=fp
+            csr, Bs, device=device, config=config, fp=fp, numerics=numerics
         )
 
     def get_plan(
@@ -339,6 +412,8 @@ class ShardedSpMMEngine:
             agg["store"] = self.store.counters()
         with self._tenant_lock:
             agg["tenants"] = {t: dict(c) for t, c in self._tenants.items()}
+            for t, pol in self._tenant_numerics.items():
+                agg["tenants"].setdefault(t, {})["numerics"] = pol.tier
         agg["per_shard"] = per_shard
         return agg
 
@@ -422,6 +497,14 @@ class AsyncSpMMEngine:
         cfg = config or self.engine.default_config
         return (fp.full, spec.name, cfg)
 
+    def _resolve_numerics(self, numerics, tenant):
+        """Request override first; else the wrapped engine's tenant pin
+        (when it keeps one — plain :class:`SpMMEngine`\\ s do not)."""
+        if numerics is not None or tenant is None:
+            return numerics
+        resolver = getattr(self.engine, "tenant_numerics_for", None)
+        return resolver(tenant) if resolver is not None else None
+
     def _note(self, tenant, field: str) -> None:
         with self._lock:
             if field == "requests":
@@ -493,15 +576,23 @@ class AsyncSpMMEngine:
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
         tenant=None,
+        numerics=None,
     ) -> np.ndarray:
-        """``C = A @ B`` without blocking the event loop."""
+        """``C = A @ B`` without blocking the event loop.
+
+        ``numerics`` overrides the numerics tier for this request; a
+        tagged tenant's pinned tier applies otherwise (see
+        :meth:`ShardedSpMMEngine.set_tenant_numerics`)."""
         loop = asyncio.get_running_loop()
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         B = np.asarray(B)
         self._note(tenant, "requests")
+        numerics = self._resolve_numerics(numerics, tenant)
         if csr.n_rows == 0 or csr.n_cols == 0:
             # trivial answer; engine.spmm validates without planning
-            return self.engine.spmm(csr, B, device=device, config=config)
+            return self.engine.spmm(
+                csr, B, device=device, config=config, numerics=numerics
+            )
         fp = await loop.run_in_executor(self._pool, fingerprint, csr)
         if self.engine.lookup(fp, device=device, config=config) is None:
             await self._ensure_plan(
@@ -510,7 +601,8 @@ class AsyncSpMMEngine:
         return await loop.run_in_executor(
             self._pool,
             partial(
-                self.engine.spmm, csr, B, device=device, config=config, fp=fp
+                self.engine.spmm, csr, B, device=device, config=config,
+                fp=fp, numerics=numerics,
             ),
         )
 
@@ -521,16 +613,20 @@ class AsyncSpMMEngine:
         device: DeviceSpec | str | None = None,
         config: AccConfig | None = None,
         tenant=None,
+        numerics=None,
     ) -> np.ndarray:
-        """Batched ``C[i] = A @ Bs[i]`` without blocking the event loop."""
+        """Batched ``C[i] = A @ Bs[i]`` without blocking the event loop.
+
+        Numerics precedence matches :meth:`multiply`."""
         loop = asyncio.get_running_loop()
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         if not isinstance(Bs, np.ndarray):
             Bs = np.stack([np.asarray(b) for b in Bs])
         self._note(tenant, "requests")
+        numerics = self._resolve_numerics(numerics, tenant)
         if csr.n_rows == 0 or csr.n_cols == 0:
             return self.engine.multiply_many(
-                csr, Bs, device=device, config=config
+                csr, Bs, device=device, config=config, numerics=numerics
             )
         fp = await loop.run_in_executor(self._pool, fingerprint, csr)
         if self.engine.lookup(fp, device=device, config=config) is None:
@@ -541,7 +637,7 @@ class AsyncSpMMEngine:
             self._pool,
             partial(
                 self.engine.multiply_many, csr, Bs, device=device,
-                config=config, fp=fp,
+                config=config, fp=fp, numerics=numerics,
             ),
         )
 

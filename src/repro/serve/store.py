@@ -555,16 +555,26 @@ def _cmd_inspect(store: PlanStore, args) -> int:
         return 0
     print(
         f"{'digest':14} {'rows':>8} {'cols':>8} {'nnz':>9} "
-        f"{'device':8} {'config':12} {'build_s':>8} {'MB':>7}"
+        f"{'device':8} {'config':12} {'tuned':14} {'build_s':>8} {'MB':>7}"
     )
     for e in sorted(entries, key=lambda e: -e.build_seconds):
         meta = e.meta or {}
         fp = meta.get("fingerprint", {})
+        # v3 header block: the autotuner's verdict (absent on v1/v2
+        # entries and untuned plans)
+        tuned = meta.get("tuned")
+        tuned_label = (
+            f"{tuned.get('kernel', '?')}@"
+            f"{tuned.get('window_rows', '?')}x{tuned.get('block_cols', '?')}"
+            if isinstance(tuned, dict)
+            else "-"
+        )
         print(
             f"{e.digest[:12]:14} {fp.get('n_rows', '?'):>8} "
             f"{fp.get('n_cols', '?'):>8} {fp.get('nnz', '?'):>9} "
             f"{str(meta.get('device', '?')):8} "
             f"{str(meta.get('config', {}).get('label', '?')):12} "
+            f"{tuned_label:14} "
             f"{e.build_seconds:8.3f} {e.nbytes / 2**20:7.2f}"
         )
     qdir = store.quarantine_dir
@@ -584,7 +594,12 @@ def _cmd_prewarm(store: PlanStore, args) -> int:
     for name in args.dataset:
         csr = load_dataset(name)
         fp = fingerprint(csr)
-        p = build_plan(csr, feature_dim=args.feature_dim, device=args.device)
+        p = build_plan(
+            csr,
+            feature_dim=args.feature_dim,
+            device=args.device,
+            autotune=args.autotune,
+        )
         if args.prepare:
             p.prepare(args.feature_dim)
         stored = store.put(fp, p.device.name, p.config, p)
@@ -649,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--prepare",
         action="store_true",
         help="also compile the executor so its structural state is stored",
+    )
+    pre.add_argument(
+        "--autotune",
+        action="store_true",
+        help=(
+            "run the per-matrix autotuner first; its verdict is stored "
+            "with the plan (format v3), so workers never re-tune"
+        ),
     )
 
     gc = sub.add_parser(

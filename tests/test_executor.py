@@ -202,7 +202,7 @@ class TestAdaptiveMode:
     def test_invalid_mode_rejected(self):
         p = plan(random_csr(64, 64, 0.1, seed=14), feature_dim=16)
         with pytest.raises(ValidationError, match="exec mode"):
-            p.prepare(mode="fast")
+            p.prepare(mode="sloppy")
 
 
 class TestExecutorLifecycle:

@@ -691,8 +691,8 @@ class TestStoreSharding:
 # container version bump: v1 compat, error messages
 # ----------------------------------------------------------------------
 class TestVersionCompat:
-    def test_current_version_is_two_reads_back_to_one(self):
-        assert PLAN_FORMAT_VERSION == 2
+    def test_current_version_is_three_reads_back_to_one(self):
+        assert PLAN_FORMAT_VERSION == 3
         assert MIN_PLAN_FORMAT_VERSION == 1
 
     def test_v1_container_round_trips(self):

@@ -40,7 +40,11 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
 #: documents whose inline-code API names must resolve via import
-API_DOC_FILES = [ROOT / "docs" / "SERVING.md", ROOT / "docs" / "CONCURRENCY.md"]
+API_DOC_FILES = [
+    ROOT / "docs" / "SERVING.md",
+    ROOT / "docs" / "CONCURRENCY.md",
+    ROOT / "docs" / "NUMERICS.md",
+]
 #: modules bare CamelCase names (and ALL_CAPS constants) resolve against
 API_NAMESPACES = [
     "repro",
@@ -52,6 +56,10 @@ API_NAMESPACES = [
     "repro.serve.store",
     "repro.errors",
     "repro.kernels.executor",
+    "repro.tune",
+    "repro.tune.policy",
+    "repro.tune.space",
+    "repro.tune.autotune",
 ]
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")

@@ -1,11 +1,13 @@
-"""REP301 — serialisation hygiene for ``repro.serve.serial``.
+"""REP301 — serialisation hygiene for ``repro.serve.serial`` and the
+wire-frame codec ``repro.serve.frames``.
 
-The container format's security stance (stated in the module docstring
-and ``docs/SERVING.md``) is that loading untrusted bytes can *fail* but
-never *execute code*: only a JSON header and raw typed arrays, no
-pickled objects.  This checker keeps that stance mechanical: the serial
-module must never import or call anything that can deserialise into
-code execution — ``pickle``/``marshal``/``dill``/``shelve``,
+The container and frame formats' security stance (stated in the module
+docstrings, ``docs/SERVING.md``, and ``docs/SERVER.md``) is that
+loading untrusted bytes can *fail* but never *execute code*: only a
+JSON header and raw typed arrays, no pickled objects.  This checker
+keeps that stance mechanical: the byte-decoding modules must never
+import or call anything that can deserialise into code execution —
+``pickle``/``marshal``/``dill``/``shelve``,
 ``eval``/``exec``/``compile``/``__import__``, or ``np.load``/``np.save``
 (whose ``.npy`` path can embed pickles).
 
@@ -27,7 +29,7 @@ from repro.analysis.core import (
     register,
 )
 
-SERIAL_PATHS = ("repro/serve/serial.py",)
+SERIAL_PATHS = ("repro/serve/serial.py", "repro/serve/frames.py")
 
 BANNED_MODULES = {"pickle", "cPickle", "marshal", "shelve", "dill", "joblib"}
 BANNED_BUILTINS = {"eval", "exec", "compile", "__import__"}
@@ -46,8 +48,8 @@ class SerializationChecker(Checker):
     code = "REP301"
     name = "serialization-hygiene"
     description = (
-        "the plan container module never reaches pickle/marshal/eval/"
-        "exec or numpy's pickle-capable load/save"
+        "the plan container and wire-frame modules never reach pickle/"
+        "marshal/eval/exec or numpy's pickle-capable load/save"
     )
 
     def applies_to(self, relpath: str) -> bool:

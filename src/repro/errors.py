@@ -42,3 +42,37 @@ class StoreVersionError(StoreError):
 
     Version bumps are deliberate invalidation: old entries are quarantined
     on first contact rather than migrated (replanning is always safe)."""
+
+
+class ProtocolError(ReproError):
+    """A wire frame could not be decoded (:mod:`repro.serve.frames`).
+
+    Raised on bad magic, unsupported frame versions, truncated or
+    oversized frames, malformed headers, or array tables that fail
+    validation.  Like :class:`StoreError`, it marks input that can be
+    *rejected* but never *executed*: the frame codec carries only a JSON
+    header and raw whitelisted-dtype arrays, no pickled objects."""
+
+
+class EngineClosedError(ReproError):
+    """A serving engine rejected a request because it is draining.
+
+    Raised by :meth:`repro.serve.sharded.AsyncSpMMEngine.multiply` (and
+    friends) once :meth:`~repro.serve.sharded.AsyncSpMMEngine.drain` has
+    begun: in-flight requests complete, new submissions fail with this —
+    the server maps it to a retryable ``shutting_down`` response."""
+
+
+class ServerError(ReproError):
+    """An error response from an SpMM server, surfaced client-side.
+
+    Carries the documented wire ``code`` (``bad_frame``, ``bad_request``,
+    ``quota_exceeded``, ``overloaded``, ``shutting_down``, ``internal``)
+    and whether the server marked the request ``retryable`` — a load-shed
+    or draining worker says "try again (elsewhere)", a malformed request
+    does not (see ``docs/SERVER.md``)."""
+
+    def __init__(self, code: str, message: str, retryable: bool = False):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.retryable = bool(retryable)

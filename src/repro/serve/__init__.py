@@ -31,6 +31,14 @@ repro.serve.store --help`` for the store maintenance CLI.
 """
 
 from repro.serve.cache import CacheStats, PlanCache
+from repro.serve.frames import (
+    Frame,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    read_frame_from,
+    write_frame,
+)
 from repro.serve.engine import (
     SpMMEngine,
     default_engine,
@@ -50,10 +58,12 @@ from repro.serve.sharded import (
     install_sharded_default,
 )
 
-#: store exports are lazy (PEP 562) so `python -m repro.serve.store`
-#: does not import the module twice (once via the package, once as
-#: __main__) — runpy would warn about the duplicate
+#: store and server exports are lazy (PEP 562) so `python -m
+#: repro.serve.store` / `python -m repro.serve.server` do not import
+#: those modules twice (once via the package, once as __main__) —
+#: runpy would warn about the duplicate
 _STORE_EXPORTS = ("PlanStore", "StoreEntry", "StoreStats")
+_SERVER_EXPORTS = ("SpMMServer", "SpMMClient", "ServerConfig")
 
 
 def __getattr__(name):
@@ -61,6 +71,10 @@ def __getattr__(name):
         from repro.serve import store
 
         return getattr(store, name)
+    if name in _SERVER_EXPORTS:
+        from repro.serve import server
+
+        return getattr(server, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -81,4 +95,13 @@ __all__ = [
     "PlanStore",
     "StoreEntry",
     "StoreStats",
+    "Frame",
+    "decode_frame",
+    "encode_frame",
+    "read_frame",
+    "read_frame_from",
+    "write_frame",
+    "SpMMServer",
+    "SpMMClient",
+    "ServerConfig",
 ]

@@ -47,6 +47,7 @@ import numpy as np
 from repro.analysis.runtime import audit_guarded, create_lock
 from repro.core.config import AccConfig
 from repro.core.planner import AccPlan
+from repro.errors import EngineClosedError
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.serve.engine import SpMMEngine, set_default_engine
 from repro.serve.fingerprint import MatrixFingerprint, fingerprint
@@ -466,6 +467,9 @@ class AsyncSpMMEngine:
         "_resolutions": "_lock",
         "_coalesced_waits": "_lock",
         "_tenants": "_lock",
+        "_closing": "_lock",
+        "_active": "_lock",
+        "_drain_event": "_lock",
     }
 
     def __init__(self, engine=None, max_workers: int | None = None, **kwargs):
@@ -487,6 +491,12 @@ class AsyncSpMMEngine:
         self._resolutions = 0
         self._coalesced_waits = 0
         self._tenants: dict[str, dict] = {}
+        #: drain protocol: once _closing is set, _begin() rejects new
+        #: requests; _active counts requests between _begin and _end,
+        #: and the drainer awaits _drain_event until it reaches zero
+        self._closing = False
+        self._active = 0
+        self._drain_event: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     def _resolve_key(self, fp, device, config) -> tuple:
@@ -519,6 +529,89 @@ class AsyncSpMMEngine:
                     {"requests": 0, "resolutions": 0, "coalesced_waits": 0},
                 )
                 t[field] += 1
+
+    def _begin(self) -> None:
+        """Admit one request, or reject it when the engine is draining.
+
+        Every public request path brackets its work in
+        ``_begin()``/``_end()`` so :meth:`drain` can wait for exactly
+        the requests admitted before it was called."""
+        with self._lock:
+            if self._closing:
+                raise EngineClosedError(
+                    "engine is draining; new submissions are rejected"
+                )
+            self._active += 1
+
+    def _end(self) -> None:
+        ev = None
+        with self._lock:
+            self._active -= 1
+            if self._active == 0 and self._closing:
+                ev = self._drain_event
+        if ev is not None:
+            ev.set()
+
+    # ------------------------------------------------------------------
+    # hooks for the network front (repro.serve.server)
+    # ------------------------------------------------------------------
+    async def compute_fingerprint(self, csr) -> MatrixFingerprint:
+        """Fingerprint ``csr`` on the pool (hashing a large matrix on
+        the event loop would block it).  The server computes the
+        fingerprint once, uses it for batch grouping, and passes it
+        back down via ``fp=`` so no request hashes twice.  Raises
+        :class:`~repro.errors.EngineClosedError` once :meth:`drain` has
+        begun, like every other entry point."""
+        self._begin()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._pool, fingerprint, csr)
+        finally:
+            self._end()
+
+    def resolve_numerics(self, numerics=None, tenant=None):
+        """The effective :class:`~repro.tune.NumericsPolicy` for a
+        request: request override > tenant pin (when the wrapped engine
+        keeps one) > engine default.  The server keys its same-
+        fingerprint micro-batches on the resolved tier so two tenants
+        pinned to different tiers never coalesce into one
+        ``multiply_many``."""
+        chosen = self._resolve_numerics(numerics, tenant)
+        if chosen is None:
+            chosen = getattr(self.engine, "default_numerics", None)
+        return resolve_policy(chosen)
+
+    async def ensure_plan(
+        self,
+        A: CSRMatrix | COOMatrix,
+        feature_dim: int = 128,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        tenant=None,
+        fp: MatrixFingerprint | None = None,
+    ) -> MatrixFingerprint:
+        """Resolve (build, store-load, or confirm) the plan for ``A``
+        without multiplying — the server's ``submit`` endpoint.
+
+        Coalesces with concurrent misses exactly like
+        :meth:`multiply`; returns the matrix fingerprint so the caller
+        can report it.  Zero-dimension matrices have no plan and return
+        their fingerprint unchanged."""
+        self._begin()
+        try:
+            csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+            self._note(tenant, "requests")
+            if fp is None:
+                fp = await self.compute_fingerprint(csr)
+            if csr.n_rows == 0 or csr.n_cols == 0:
+                return fp
+            if self.engine.lookup(fp, device=device, config=config) is None:
+                await self._ensure_plan(
+                    csr, feature_dim, device, config, fp, tenant
+                )
+            return fp
+        finally:
+            self._end()
 
     async def _ensure_plan(
         self, csr, feature_dim, device, config, fp, tenant
@@ -559,14 +652,17 @@ class AsyncSpMMEngine:
             exc = None
         except BaseException as e:  # noqa: BLE001 - delivered to waiters
             result, exc = None, e
-        try:
-            if exc is None:
-                fut.set_result(result)
-            else:
-                fut.set_exception(exc)
-        finally:
-            with self._lock:
-                self._inflight.pop(key, None)
+        # retire the in-flight entry *before* waking the waiters: on
+        # success the plan is already in the cache, so a new request can
+        # only hit; on failure the next request starts a fresh attempt.
+        # The reverse order let a waiter observe stats (or a stale
+        # future) between set_result and the pop.
+        with self._lock:
+            self._inflight.pop(key, None)
+        if exc is None:
+            fut.set_result(result)
+        else:
+            fut.set_exception(exc)
 
     # ------------------------------------------------------------------
     async def multiply(
@@ -577,34 +673,45 @@ class AsyncSpMMEngine:
         config: AccConfig | None = None,
         tenant=None,
         numerics=None,
+        fp: MatrixFingerprint | None = None,
     ) -> np.ndarray:
         """``C = A @ B`` without blocking the event loop.
 
         ``numerics`` overrides the numerics tier for this request; a
         tagged tenant's pinned tier applies otherwise (see
-        :meth:`ShardedSpMMEngine.set_tenant_numerics`)."""
-        loop = asyncio.get_running_loop()
-        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
-        B = np.asarray(B)
-        self._note(tenant, "requests")
-        numerics = self._resolve_numerics(numerics, tenant)
-        if csr.n_rows == 0 or csr.n_cols == 0:
-            # trivial answer; engine.spmm validates without planning
-            return self.engine.spmm(
-                csr, B, device=device, config=config, numerics=numerics
+        :meth:`ShardedSpMMEngine.set_tenant_numerics`).  ``fp``
+        optionally carries ``A``'s precomputed fingerprint (the server
+        passes the one it grouped batches by); it must be the
+        fingerprint of *this* ``A``.  Raises
+        :class:`~repro.errors.EngineClosedError` once :meth:`drain` has
+        begun."""
+        self._begin()
+        try:
+            loop = asyncio.get_running_loop()
+            csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+            B = np.asarray(B)
+            self._note(tenant, "requests")
+            numerics = self._resolve_numerics(numerics, tenant)
+            if csr.n_rows == 0 or csr.n_cols == 0:
+                # trivial answer; engine.spmm validates without planning
+                return self.engine.spmm(
+                    csr, B, device=device, config=config, numerics=numerics
+                )
+            if fp is None:
+                fp = await loop.run_in_executor(self._pool, fingerprint, csr)
+            if self.engine.lookup(fp, device=device, config=config) is None:
+                await self._ensure_plan(
+                    csr, B.shape[-1], device, config, fp, tenant
+                )
+            return await loop.run_in_executor(
+                self._pool,
+                partial(
+                    self.engine.spmm, csr, B, device=device, config=config,
+                    fp=fp, numerics=numerics,
+                ),
             )
-        fp = await loop.run_in_executor(self._pool, fingerprint, csr)
-        if self.engine.lookup(fp, device=device, config=config) is None:
-            await self._ensure_plan(
-                csr, B.shape[-1], device, config, fp, tenant
-            )
-        return await loop.run_in_executor(
-            self._pool,
-            partial(
-                self.engine.spmm, csr, B, device=device, config=config,
-                fp=fp, numerics=numerics,
-            ),
-        )
+        finally:
+            self._end()
 
     async def multiply_many(
         self,
@@ -614,40 +721,51 @@ class AsyncSpMMEngine:
         config: AccConfig | None = None,
         tenant=None,
         numerics=None,
+        fp: MatrixFingerprint | None = None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` without blocking the event loop.
 
-        Numerics precedence matches :meth:`multiply`."""
-        loop = asyncio.get_running_loop()
-        csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
-        if not isinstance(Bs, np.ndarray):
-            Bs = np.stack([np.asarray(b) for b in Bs])
-        self._note(tenant, "requests")
-        numerics = self._resolve_numerics(numerics, tenant)
-        if csr.n_rows == 0 or csr.n_cols == 0:
-            return self.engine.multiply_many(
-                csr, Bs, device=device, config=config, numerics=numerics
+        Numerics precedence and the ``fp``/drain contracts match
+        :meth:`multiply`."""
+        self._begin()
+        try:
+            loop = asyncio.get_running_loop()
+            csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
+            if not isinstance(Bs, np.ndarray):
+                Bs = np.stack([np.asarray(b) for b in Bs])
+            self._note(tenant, "requests")
+            numerics = self._resolve_numerics(numerics, tenant)
+            if csr.n_rows == 0 or csr.n_cols == 0:
+                return self.engine.multiply_many(
+                    csr, Bs, device=device, config=config, numerics=numerics
+                )
+            if fp is None:
+                fp = await loop.run_in_executor(self._pool, fingerprint, csr)
+            if self.engine.lookup(fp, device=device, config=config) is None:
+                await self._ensure_plan(
+                    csr, Bs.shape[-1], device, config, fp, tenant
+                )
+            return await loop.run_in_executor(
+                self._pool,
+                partial(
+                    self.engine.multiply_many, csr, Bs, device=device,
+                    config=config, fp=fp, numerics=numerics,
+                ),
             )
-        fp = await loop.run_in_executor(self._pool, fingerprint, csr)
-        if self.engine.lookup(fp, device=device, config=config) is None:
-            await self._ensure_plan(
-                csr, Bs.shape[-1], device, config, fp, tenant
-            )
-        return await loop.run_in_executor(
-            self._pool,
-            partial(
-                self.engine.multiply_many, csr, Bs, device=device,
-                config=config, fp=fp, numerics=numerics,
-            ),
-        )
+        finally:
+            self._end()
 
     async def warm_start(self, limit: int | None = None) -> int:
         """Preload persisted plans on the pool (see
         :meth:`SpMMEngine.warm_start`)."""
-        loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
-            self._pool, self.engine.warm_start, limit
-        )
+        self._begin()
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool, self.engine.warm_start, limit
+            )
+        finally:
+            self._end()
 
     # ------------------------------------------------------------------
     @property
@@ -662,6 +780,8 @@ class AsyncSpMMEngine:
                 "resolutions": self._resolutions,
                 "coalesced_waits": self._coalesced_waits,
                 "inflight": len(self._inflight),
+                "active": self._active,
+                "draining": self._closing,
                 "tenants": {t: dict(c) for t, c in self._tenants.items()},
             }
         return out
@@ -676,11 +796,42 @@ class AsyncSpMMEngine:
             self._coalesced_waits = 0
             self._tenants.clear()
 
+    async def drain(self) -> None:
+        """Stop gracefully: reject new submissions, let in-flight
+        requests complete, then shut the thread pool down.
+
+        After ``drain()`` returns, every request admitted before it was
+        called has delivered its result (or exception), every
+        subsequent :meth:`multiply`/:meth:`multiply_many`/
+        :meth:`ensure_plan`/:meth:`warm_start` raises
+        :class:`~repro.errors.EngineClosedError`, and the pool's worker
+        threads have exited — the deterministic shutdown a serving
+        process needs before dropping its listening socket.  Idempotent:
+        a second ``drain()`` returns once the first completes."""
+        with self._lock:
+            self._closing = True
+            idle = self._active == 0
+            if not idle and self._drain_event is None:
+                self._drain_event = asyncio.Event()
+            ev = self._drain_event
+        if not idle:
+            await ev.wait()
+        # every request is done; shutdown(wait=True) only joins threads
+        await asyncio.get_running_loop().run_in_executor(
+            None, partial(self._pool.shutdown, True)
+        )
+
     def close(self) -> None:
         """Shut the thread pool down (blocks until workers drain).
 
-        Call from synchronous teardown, or after the loop is done
-        serving; pending ``multiply`` awaitables finish first."""
+        The synchronous sibling of :meth:`drain`, for teardown after
+        the loop is done serving: new submissions are rejected from the
+        moment of the call, work already on the pool finishes first.
+        Unlike :meth:`drain` it does not wait for requests still
+        awaiting on the event loop — call it when no coroutine is
+        mid-request."""
+        with self._lock:
+            self._closing = True
         self._pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "AsyncSpMMEngine":

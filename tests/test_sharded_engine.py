@@ -277,12 +277,35 @@ class TestAsyncEngine:
         B = make_b(A)
         ref = SpMMEngine().spmm(A, B)
         M = 12
+        release = threading.Event()
 
         async def main():
             async with AsyncSpMMEngine(n_shards=4) as eng:
-                outs = await asyncio.gather(
-                    *[eng.multiply(A, B, tenant=f"t{i % 3}") for i in range(M)]
-                )
+                fp = await eng.compute_fingerprint(A)
+                inner = eng.engine.get_plan
+
+                def gated_get_plan(*args, **kwargs):
+                    # hold the build until every request has joined the
+                    # coalescer — otherwise a straggler whose turn comes
+                    # after the build completes is a plain warm hit and
+                    # coalesced_waits undercounts (a real race this test
+                    # used to lose ~10% of the time)
+                    assert release.wait(30)
+                    return inner(*args, **kwargs)
+
+                eng.engine.get_plan = gated_get_plan
+                tasks = [
+                    asyncio.ensure_future(
+                        eng.multiply(A, B, tenant=f"t{i % 3}", fp=fp)
+                    )
+                    for i in range(M)
+                ]
+                # with fp precomputed there is no await before the
+                # coalescing registration, so one loop pass runs every
+                # task up to its wait on the shared in-flight future
+                await asyncio.sleep(0)
+                release.set()
+                outs = await asyncio.gather(*tasks)
                 return outs, eng.stats
 
         outs, stats = asyncio.run(main())

@@ -44,6 +44,7 @@ API_DOC_FILES = [
     ROOT / "docs" / "SERVING.md",
     ROOT / "docs" / "CONCURRENCY.md",
     ROOT / "docs" / "NUMERICS.md",
+    ROOT / "docs" / "SERVER.md",
 ]
 #: modules bare CamelCase names (and ALL_CAPS constants) resolve against
 API_NAMESPACES = [
@@ -51,7 +52,9 @@ API_NAMESPACES = [
     "repro.serve",
     "repro.serve.cache",
     "repro.serve.engine",
+    "repro.serve.frames",
     "repro.serve.serial",
+    "repro.serve.server",
     "repro.serve.sharded",
     "repro.serve.store",
     "repro.errors",

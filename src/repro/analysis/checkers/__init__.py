@@ -3,6 +3,7 @@
 from repro.analysis.checkers import (  # noqa: F401 - registration imports
     determinism,
     dtypes,
+    gpu_imports,
     guarded,
     lockorder,
     policy,

@@ -8,8 +8,9 @@ of ints infers a platform-dependent integer width; ``np.arange(n)``
 likewise.  Any of these flowing into a kernel buffer changes either the
 numerics or the serialised plan bytes between platforms.
 
-Allocation calls in ``repro/kernels/`` and ``repro/formats/`` must
-therefore pass an explicit ``dtype=``.  The ``*_like`` constructors and
+Allocation calls in ``repro/kernels/``, ``repro/formats/``, and
+``repro/backend/`` (the execution arms replay the same numeric path)
+must therefore pass an explicit ``dtype=``.  The ``*_like`` constructors and
 ``np.asarray`` are exempt — they preserve their input's dtype, which is
 exactly the deterministic behaviour wanted when re-wrapping an already
 typed array.
@@ -27,7 +28,7 @@ from repro.analysis.core import (
     register,
 )
 
-DTYPE_PATHS = ("repro/kernels/", "repro/formats/")
+DTYPE_PATHS = ("repro/kernels/", "repro/formats/", "repro/backend/")
 
 #: allocators whose default dtype is inferred, not inherited
 BARE_ALLOCATORS = {"zeros", "ones", "empty", "full", "array", "arange"}

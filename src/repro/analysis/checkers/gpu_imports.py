@@ -1,0 +1,93 @@
+"""REP601 — the CuPy dependency stays optional.
+
+The GPU backend's contract (``docs/GPU.md``) is that CuPy is
+*discovered*, never *required*: exactly one sanctioned site —
+``repro/backend/loader.py`` — imports it, inside a guard that turns
+every failure into a reasoned CPU fallback.  A bare ``import cupy``
+anywhere else would make module import (and therefore the whole
+library) fail on CPU-only machines, silently revoking the opt-in
+property.
+
+This checker bans, outside the loader:
+
+- ``import cupy`` / ``import cupy.foo`` (aliased or not);
+- ``from cupy import ...`` / ``from cupy.foo import ...``;
+- ``importlib.import_module("cupy")`` (and dotted submodules) — the
+  dynamic spelling of the same dependency.
+
+Dynamic imports whose argument is not a literal cannot be judged
+statically and are left to review; the loader itself is exempt in
+full, so its guarded import needs no pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    Checker,
+    Finding,
+    ModuleContext,
+    dotted_name,
+    register,
+)
+
+#: the one file allowed to name the dependency
+ALLOWED_PATHS = ("repro/backend/loader.py",)
+
+BANNED_ROOT = "cupy"
+DYNAMIC_IMPORTERS = {"importlib.import_module", "import_module"}
+
+
+@register
+class GpuImportChecker(Checker):
+    code = "REP601"
+    name = "optional-gpu-imports"
+    description = (
+        "cupy is imported only by the backend's guarded loader — a "
+        "bare import anywhere else breaks CPU-only installs"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath not in ALLOWED_PATHS
+
+    def check_module(self, ctx: ModuleContext) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                Finding(
+                    path=ctx.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{what} — cupy is optional by contract; go "
+                        f"through `repro.backend` (the guarded loader "
+                        f"is the only sanctioned import site)"
+                    ),
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] == BANNED_ROOT:
+                        flag(node, f"imports `{alias.name}`")
+            elif isinstance(node, ast.ImportFrom):
+                if (node.module or "").split(".")[0] == BANNED_ROOT:
+                    flag(node, f"imports from `{node.module}`")
+            elif isinstance(node, ast.Call):
+                dotted = dotted_name(node.func)
+                if dotted not in DYNAMIC_IMPORTERS:
+                    continue
+                if not node.args:
+                    continue
+                arg = node.args[0]
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.split(".")[0] == BANNED_ROOT
+                ):
+                    flag(node, f"dynamically imports `{arg.value}`")
+        return findings

@@ -1,0 +1,180 @@
+"""Device backends for the prepared executor (opt-in GPU execution).
+
+The executor compiles the B-invariant half of tiled SpMM; this package
+decides *where* the compiled state replays.  Two arms implement the
+:class:`~repro.backend.base.DeviceBackend` protocol:
+
+* :class:`~repro.backend.cpu.CpuBackend` — the numpy path (the default,
+  and the transparent fallback whenever the cupy arm is requested but
+  unavailable);
+* :class:`~repro.backend.gpu.CupyBackend` — device-resident replay with
+  upload-once executor state (:class:`~repro.backend.gpu.DeviceExecState`).
+
+Selection (see ``docs/GPU.md``):
+
+* process default — :func:`get_backend`, gated by ``REPRO_USE_GPU=1``
+  (+ ``REPRO_GPU_DEVICE=N``) with transparent CPU fallback when cupy is
+  absent, broken, or fails its probes;
+* explicit — ``backend="cpu"``/``"cupy"`` (or a
+  :class:`~repro.backend.base.DeviceBackend` instance) threaded through
+  :meth:`AccPlan.multiply <repro.core.planner.AccPlan.multiply>`, the
+  serving engines, and the server's request metadata, resolved by
+  :func:`resolve_backend`.
+
+:func:`reset_backend` clears every cached resolution (tests flip the
+environment or install a fake ``cupy`` module and reset).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.backend import loader
+from repro.backend.base import BackendStats, DeviceBackend
+from repro.backend.cpu import CpuBackend
+from repro.backend.gpu import CupyBackend, DeviceExecState, reduceat_replica_ok
+from repro.errors import ValidationError
+
+__all__ = [
+    "BackendStats",
+    "CpuBackend",
+    "CupyBackend",
+    "DeviceBackend",
+    "DeviceExecState",
+    "available_backends",
+    "get_backend",
+    "reset_backend",
+    "resolve_backend",
+]
+
+#: the names :func:`resolve_backend` accepts (``"gpu"`` is an alias for
+#: the cupy arm, matching the env-var vocabulary)
+BACKEND_NAMES = ("cpu", "cupy", "gpu")
+
+_lock = threading.Lock()
+_default: DeviceBackend | None = None
+_cpu: CpuBackend | None = None
+_cupy_resolved: DeviceBackend | None = None
+
+
+def _cpu_backend() -> CpuBackend:
+    global _cpu
+    with _lock:
+        if _cpu is None:
+            _cpu = CpuBackend()
+        return _cpu
+
+
+def _cupy_or_fallback() -> DeviceBackend:
+    """The cupy arm, or a CPU backend carrying the reason it is not.
+
+    Memoised: the import probe, the replica probe, and device selection
+    run once per process (or per :func:`reset_backend`)."""
+    global _cupy_resolved
+    with _lock:
+        if _cupy_resolved is not None:
+            return _cupy_resolved
+        cp, reason = loader.load_cupy()
+        if cp is None:
+            backend: DeviceBackend = CpuBackend(fallback_reason=reason)
+        elif not reduceat_replica_ok():
+            backend = CpuBackend(
+                fallback_reason=(
+                    "device reduceat replica failed its bitwise probe "
+                    "against this numpy"
+                )
+            )
+        else:
+            device, dev_reason = loader.gpu_device()
+            if device is None:
+                backend = CpuBackend(fallback_reason=dev_reason)
+            else:
+                try:
+                    backend = CupyBackend(cp, device=device)
+                except Exception as exc:  # noqa: BLE001 - demote, never raise
+                    backend = CpuBackend(
+                        fallback_reason=f"cupy device init failed: {exc!r}"
+                    )
+        _cupy_resolved = backend
+        return backend
+
+
+def get_backend() -> DeviceBackend:
+    """The process-default backend (memoised).
+
+    CPU unless ``REPRO_USE_GPU`` opts in; an opted-in process still gets
+    the CPU arm — with ``info()["fallback_reason"]`` set — when cupy is
+    unavailable, so enabling the flag can never break a deployment that
+    lacks the GPU stack."""
+    global _default
+    with _lock:
+        cached = _default
+    if cached is not None:
+        return cached
+    resolved = _cupy_or_fallback() if loader.gpu_requested() else _cpu_backend()
+    with _lock:
+        if _default is None:
+            _default = resolved
+        return _default
+
+
+def resolve_backend(choice=None) -> DeviceBackend:
+    """Map a backend choice to a :class:`DeviceBackend` instance.
+
+    ``None`` → the process default (:func:`get_backend`); ``"cpu"`` →
+    the host arm; ``"cupy"``/``"gpu"`` → the cupy arm (or its reasoned
+    CPU fallback); an instance passes through.  Unknown names raise
+    :class:`~repro.errors.ValidationError` — the same eager validation
+    the engines apply to numerics tiers."""
+    if choice is None:
+        return get_backend()
+    if isinstance(choice, DeviceBackend):
+        return choice
+    name = str(choice).strip().lower()
+    if name == "cpu":
+        return _cpu_backend()
+    if name in ("cupy", "gpu"):
+        return _cupy_or_fallback()
+    raise ValidationError(
+        f"backend must be one of {', '.join(BACKEND_NAMES)} (or a "
+        f"DeviceBackend instance); got {choice!r}"
+    )
+
+
+def validate_backend(choice) -> None:
+    """Eagerly reject an unknown backend name (engines call this at
+    construction so a typo fails fast, without resolving — resolution
+    stays lazy so tests can re-gate the environment first)."""
+    if choice is None or isinstance(choice, DeviceBackend):
+        return
+    if str(choice).strip().lower() not in BACKEND_NAMES:
+        raise ValidationError(
+            f"backend must be one of {', '.join(BACKEND_NAMES)} (or a "
+            f"DeviceBackend instance); got {choice!r}"
+        )
+
+
+def available_backends() -> dict:
+    """Resolution snapshot for diagnostics: the default arm plus what an
+    explicit ``"cupy"`` request would currently get."""
+    return {
+        "default": get_backend().info(),
+        "cupy": _cupy_or_fallback().info(),
+    }
+
+
+def reset_backend() -> None:
+    """Drop every memoised resolution (and the loader's import cache).
+
+    The next :func:`get_backend`/:func:`resolve_backend` call re-reads
+    the environment and re-imports cupy — the seam the fake-cupy
+    conformance suite toggles around."""
+    global _default, _cpu, _cupy_resolved
+    import repro.backend.gpu as _gpu
+
+    with _lock:
+        _default = None
+        _cpu = None
+        _cupy_resolved = None
+    loader.reset()
+    _gpu._replica_ok = None

@@ -1,0 +1,437 @@
+"""The cupy execution arm: device-resident replay of a prepared executor.
+
+The executor (:class:`~repro.kernels.executor.TCExecPlan`) was designed
+as exactly the device-resident state a kernel launch needs — pre-rounded
+tiles, gather positions and pad masks, fold schedules, the output
+permutation.  :class:`CupyBackend` uploads that state **once per
+executor** into a :class:`DeviceExecState` (cached on the executor
+instance, so the existing stale-value pruning in
+:func:`~repro.kernels.executor.get_executor` — which drops executors
+whose ``vals_packed`` identity changed — invalidates the device mirror
+with them) and replays gather → batched tile MMA → fold → permutation on
+device per call.  Only ``B`` moves host→device per multiply (one upload
+even for a whole ``multiply_many`` batch) and only the result moves
+back.
+
+``np.add.reduceat`` has no cupy equivalent, so the fold stage of
+``"reduceat"``-strategy chunks and the 9+-block bucket of ``"stepped"``
+chunks use :func:`device_reduceat`, a replica of numpy's per-segment
+``a[first] + pairwise_sum(a[first+1:])`` accumulation (the same
+pairwise blocking numpy's reduce kernel uses).  Because the replica
+mirrors a numpy implementation detail, a one-time probe
+(:func:`reduceat_replica_ok`) validates it bitwise against
+``np.add.reduceat`` — including signed-zero edge cases — and a failed
+probe makes backend resolution fall back to the CPU arm: correctness
+never depends on the replica, availability of the cupy arm does.
+
+Bitwise expectations: with the fake-cupy conformance shim (numpy
+underneath) every arm operation is the numpy operation, so results are
+bit-for-bit with the CPU arm across all numerics tiers.  On real CUDA
+hardware the elementwise stages (rounding, folds, permutation) are
+bit-exact too, while ``cupy.matmul`` may order its fp32 accumulation
+differently from numpy's — the same reassociation tolerance the
+``tf32``/``fast`` tiers already document.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+import numpy as np
+
+from repro.backend.base import DeviceBackend
+
+#: numpy's pairwise-summation block size (``PW_BLOCKSIZE``)
+_PW_BLOCKSIZE = 128
+
+_replica_ok: bool | None = None
+
+
+def _pairwise_rows(xp, a, lo: int, n: int):
+    """Sum ``a[lo:lo+n]`` along axis 0 in numpy's pairwise order.
+
+    Replicates ``pairwise_sum`` from numpy's reduce kernel: sequential
+    from +0.0 below 8 elements, an 8-accumulator unrolled loop up to
+    :data:`_PW_BLOCKSIZE`, recursive halving (rounded down to a multiple
+    of 8) above it.  Elementwise adds are IEEE-correctly-rounded on both
+    host and device, so an identical add tree yields identical bits.
+    """
+    if n < 8:
+        res = xp.zeros(a.shape[1:], dtype=a.dtype)
+        for i in range(n):
+            res = res + a[lo + i]
+        return res
+    if n <= _PW_BLOCKSIZE:
+        r = [a[lo + j] for j in range(8)]
+        i = 8
+        while i < n - (n % 8):
+            for j in range(8):
+                r[j] = r[j] + a[lo + i + j]
+            i += 8
+        res = ((r[0] + r[1]) + (r[2] + r[3])) + ((r[4] + r[5]) + (r[6] + r[7]))
+        while i < n:
+            res = res + a[lo + i]
+            i += 1
+        return res
+    n2 = n // 2
+    n2 -= n2 % 8
+    return _pairwise_rows(xp, a, lo, n2) + _pairwise_rows(xp, a, lo + n2, n - n2)
+
+
+def device_reduceat(xp, a, first: list):
+    """``np.add.reduceat(a, first, axis=0)`` for array module ``xp``.
+
+    ``first`` is a list of python ints (strictly increasing segment
+    starts, as the executor's ``np.unique(..., return_index=True)``
+    produces).  Per segment the accumulation is
+    ``a[f] + pairwise_sum(a[f+1:end])`` — numpy's own order, validated
+    by :func:`reduceat_replica_ok`.
+    """
+    k = int(a.shape[0])
+    ends = list(first[1:]) + [k]
+    outs = []
+    for f, e in zip(first, ends):
+        c = e - f
+        if c <= 1:
+            outs.append(a[f])
+        else:
+            outs.append(a[f] + _pairwise_rows(xp, a, f + 1, c - 1))
+    return xp.stack(outs, axis=0)
+
+
+def reduceat_replica_ok() -> bool:
+    """One-time probe: does :func:`device_reduceat` (run with numpy)
+    match ``np.add.reduceat`` bit for bit?
+
+    Covers every pairwise branch (sequential, 8-wide unrolled with and
+    without remainder, recursive split) plus signed-zero inputs, whose
+    ``+0.0``-initialised sequential case is the subtlest bit to get
+    right.  A failed probe demotes backend resolution to the CPU arm.
+    """
+    global _replica_ok
+    if _replica_ok is None:
+        rng = np.random.default_rng(0x6B)
+        lens = [1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 64, 127, 128, 129, 200, 257, 2]
+        first_np = np.zeros(len(lens), dtype=np.int64)
+        np.cumsum(np.asarray(lens[:-1], dtype=np.int64), out=first_np[1:])
+        total = int(sum(lens))
+        part = rng.standard_normal((total, 3, 2)).astype(np.float32)
+        # salt in signed zeros: 0.0 + (-0.0) == +0.0 while a left fold
+        # seeded with a[first] keeps -0.0 — exactly the divergence the
+        # replica must reproduce
+        zero_rows = rng.integers(0, total, size=total // 4)
+        part[zero_rows] = np.float32(-0.0)
+        part[rng.integers(0, total, size=total // 8)] = np.float32(0.0)
+        ref = np.add.reduceat(part, first_np, axis=0)
+        out = device_reduceat(np, part, [int(f) for f in first_np])
+        _replica_ok = (
+            ref.shape == out.shape
+            and ref.dtype == out.dtype
+            and ref.tobytes() == np.ascontiguousarray(out).tobytes()
+        )
+    return _replica_ok
+
+
+def _tf32_round_device(xp, x):
+    """:func:`repro.gpusim.tensorcore.tf32_round`, array-module generic.
+
+    Same integer arithmetic on the same uint32 views, so the cleared
+    mantissas are bit-identical to the host rounding; ``x`` must be a
+    C-contiguous float32 device array (the upload path guarantees it).
+    """
+    bits = x.view(xp.uint32)
+    rounding = bits >> 13
+    rounding &= 1  # RNE: round half to even
+    rounding += 0xFFF
+    rounding += bits
+    rounding &= 0xFFFFE000
+    nonfinite = ~xp.isfinite(x)
+    if bool(nonfinite.any()):
+        rounding[nonfinite] = bits[nonfinite]
+    return rounding.view(xp.float32).reshape(x.shape)
+
+
+class _DeviceChunk:
+    """Device-resident index arrays mirroring one ``_ChunkProgram``."""
+
+    __slots__ = (
+        "pos",
+        "pad_rows",
+        "uniq_w",
+        "first",
+        "single_rows",
+        "single_wins",
+        "short_first",
+        "short_first_p1",
+        "short_wins",
+        "short_steps",
+        "long_rows",
+        "long_wins",
+        "long_first",
+        "fused",
+    )
+
+
+class DeviceExecState:
+    """The upload-once device mirror of one executor.
+
+    Created on first device execution, cached on the executor instance
+    (``ex._device_state``), and garbage-collected with it — value
+    refreshes drop stale executors from ``plan.exec_cache`` (see
+    :func:`~repro.kernels.executor.get_executor`), which frees the
+    device arrays and their ``device_bytes`` accounting through a
+    ``weakref.finalize`` hook.  Compiled device chunk programs are
+    cached per N-class alongside the executor's own host programs.
+    """
+
+    def __init__(self, backend: "CupyBackend", ex) -> None:
+        self.backend = backend
+        self._lock = threading.Lock()
+        self._bytes_box = [0]
+        t = ex.tiling
+        #: host copy for python-int chunk slicing of the lazy value path
+        self.tc_offset = np.asarray(t.tc_offset, dtype=np.int64)
+        up = self._upload
+        self.tiles_all = up(ex.tiles_all)
+        self.vals_rounded = up(ex.vals_rounded)
+        self.scatter_flat = up(ex.scatter_flat)
+        self.pos_all = up(ex.pos_all)
+        self.out_rank = up(ex.out_rank)
+        #: blocks-per-chunk -> (host program identity, device chunks)
+        self._programs: dict = {}
+        weakref.finalize(self, backend._free_device_bytes, self._bytes_box)
+
+    def _upload(self, arr):
+        if arr is None:
+            return None
+        return self.backend._upload(arr, self._bytes_box)
+
+    @property
+    def device_bytes(self) -> int:
+        return self._bytes_box[0]
+
+    # ------------------------------------------------------------------
+    def program_for(self, ex, n: int):
+        """``(host program, device chunks)`` for feature dim ``n``.
+
+        The host program comes from the executor's own compile cache
+        (counting its prep hit/miss exactly as the CPU arm does); the
+        device side is uploaded once per host program identity, so a
+        host-side recompile (program-cache eviction) rebuilds the
+        mirror too.
+        """
+        host_prog = ex._program_for(n)
+        bpc = ex._blocks_per_chunk(n)
+        with self._lock:
+            cached = self._programs.get(bpc)
+            if cached is not None and cached[0] is host_prog:
+                return cached
+        dev = [self._build_chunk(ex, hp) for hp in host_prog]
+        with self._lock:
+            cached = self._programs.get(bpc)
+            if cached is None or cached[0] is not host_prog:
+                while len(self._programs) >= ex._MAX_PROGRAMS:
+                    self._programs.pop(next(iter(self._programs)))
+                cached = (host_prog, dev)
+                self._programs[bpc] = cached
+        return cached
+
+    def _build_chunk(self, ex, hp) -> _DeviceChunk:
+        bc = ex.tiling.block_cols
+        up = self._upload
+        dc = _DeviceChunk()
+        dc.pos = self.pos_all[hp.b0 * bc : hp.b1 * bc]  # view: no upload
+        dc.pad_rows = up(hp.pad_rows) if hp.pad_rows.size else None
+        dc.uniq_w = up(hp.uniq_w)
+        dc.first = None
+        dc.single_rows = dc.single_wins = None
+        dc.short_first = dc.short_first_p1 = dc.short_wins = None
+        dc.short_steps = []
+        dc.long_rows = dc.long_wins = dc.long_first = None
+        dc.fused = []
+        if hp.strategy == "fused":
+            dc.fused = [
+                (up(wins), up(rows2d), up(a_fused))
+                for wins, rows2d, a_fused in hp.fused_groups
+            ]
+        elif hp.strategy == "stepped":
+            if hp.single_rows.size:
+                dc.single_rows = up(hp.single_rows)
+                dc.single_wins = up(hp.single_wins)
+            if hp.short_first.size:
+                dc.short_first = up(hp.short_first)
+                dc.short_first_p1 = up(hp.short_first + 1)
+                dc.short_wins = up(hp.short_wins)
+                dc.short_steps = [
+                    (n_open, up(rows)) for n_open, rows in hp.short_steps
+                ]
+            if hp.long_rows is not None:
+                dc.long_rows = up(hp.long_rows)
+                dc.long_wins = up(hp.long_wins)
+                dc.long_first = [int(f) for f in hp.long_first]
+        elif hp.strategy == "reduceat":
+            dc.first = [int(f) for f in hp.first]
+        return dc
+
+
+class CupyBackend(DeviceBackend):
+    """Device-resident execution through a cupy-compatible module.
+
+    ``cp`` is the module :func:`repro.backend.loader.load_cupy`
+    produced — real cupy or the conformance suite's fake; both expose
+    the same surface.  ``device`` selects the CUDA ordinal via
+    ``cp.cuda.Device(device).use()`` at construction (a failure there
+    is caught by backend resolution and demoted to a CPU fallback).
+    """
+
+    name = "cupy"
+
+    def __init__(self, cp, device: int = 0) -> None:
+        super().__init__()
+        self.cp = cp
+        self.device_index = int(device)
+        cp.cuda.Device(self.device_index).use()
+
+    # ------------------------------------------------------------------
+    # transfer accounting
+    # ------------------------------------------------------------------
+    def _upload(self, arr: np.ndarray, box: list | None = None):
+        d = self.cp.asarray(arr)
+        self.stats.count_upload(arr.nbytes)
+        if box is not None:
+            box[0] += int(arr.nbytes)
+            self.stats.add_device_bytes(arr.nbytes)
+        return d
+
+    def _download(self, d) -> np.ndarray:
+        out = self.cp.asnumpy(d)
+        self.stats.count_download(out.nbytes)
+        return out
+
+    def _free_device_bytes(self, box: list) -> None:
+        self.stats.add_device_bytes(-box[0])
+
+    def info(self) -> dict:
+        d = self.stats.as_dict()
+        return {
+            "name": self.name,
+            "device": self.device_index,
+            "transfers": {
+                k: d[k]
+                for k in (
+                    "uploads",
+                    "downloads",
+                    "bytes_to_device",
+                    "bytes_from_device",
+                )
+            },
+            "device_bytes": d["device_bytes"],
+        }
+
+    # ------------------------------------------------------------------
+    # upload-once state
+    # ------------------------------------------------------------------
+    def _state_for(self, ex) -> DeviceExecState:
+        state = getattr(ex, "_device_state", None)
+        if state is not None and state.backend is self:
+            return state
+        with ex._lock:
+            state = getattr(ex, "_device_state", None)
+            if state is None or state.backend is not self:
+                state = DeviceExecState(self, ex)
+                ex._device_state = state
+        return state
+
+    def prepare(self, ex, n: int) -> None:
+        """Eager upload: build the device mirror and the device chunk
+        program for feature dim ``n`` now, so the first multiply pays
+        only for ``B`` and the result."""
+        if ex.tiling.n_blocks:
+            self._state_for(ex).program_for(ex, n)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, ex, B: np.ndarray) -> np.ndarray:
+        single = B.ndim == 2
+        if single:
+            B = B[None]
+        batch, _, n = B.shape
+        t = ex.tiling
+        n_out = ex.out_rank.size
+        if not t.n_blocks or not batch:
+            out = np.zeros((batch, n_out, n), dtype=np.float32)
+            return out[0] if single else out
+        with ex._lock:
+            ex.stats.calls += 1
+        xp = self.cp
+        state = self._state_for(ex)
+        host_prog, dev_prog = state.program_for(ex, n)
+        # one upload per call, batch included — multiply_many maps the
+        # whole stack onto a single transfer
+        B_d = self._upload(np.ascontiguousarray(B, dtype=np.float32))
+        if ex.rounds_inputs:
+            B_d = _tf32_round_device(xp, B_d)
+        wr = t.window_rows
+        acc = xp.zeros((t.n_windows, wr, n), dtype=np.float32)
+        out_d = xp.zeros((batch, n_out, n), dtype=np.float32)
+        for i in range(batch):
+            if i:
+                acc.fill(0.0)
+            for hp, dc in zip(host_prog, dev_prog):
+                self._run_chunk(xp, state, ex, hp, dc, B_d[i], acc, n)
+            C_perm = acc.reshape(t.n_windows * wr, n)[: t.n_rows]
+            out_d[i] = xp.take(C_perm, state.out_rank, axis=0)
+        out = self._download(out_d)
+        return out[0] if single else out
+
+    def _chunk_tiles(self, xp, state: DeviceExecState, ex, hp):
+        """Device A tiles of one chunk (resident view or lazy scatter)."""
+        if state.tiles_all is not None:
+            return state.tiles_all[hp.b0 : hp.b1]
+        t = ex.tiling
+        wr, bc = t.window_rows, t.block_cols
+        lo = int(state.tc_offset[hp.b0])
+        hi = int(state.tc_offset[hp.b1])
+        tiles = xp.zeros(hp.k * wr * bc, dtype=np.float32)
+        tiles[state.scatter_flat[lo:hi] - hp.b0 * wr * bc] = (
+            state.vals_rounded[lo:hi]
+        )
+        return tiles.reshape(hp.k, wr, bc)
+
+    def _run_chunk(self, xp, state, ex, hp, dc, B_r_i, acc, n: int) -> None:
+        """One (chunk, batch member) step, all operands device-resident.
+
+        The op sequence — gather, pad zeroing, batched MMA, then the
+        strategy's fold — mirrors ``TCExecPlan._run_chunk`` exactly."""
+        bc = ex.tiling.block_cols
+        gathered = xp.take(B_r_i, dc.pos, axis=0)
+        if dc.pad_rows is not None:
+            gathered[dc.pad_rows] = 0.0
+        g3 = gathered.reshape(hp.k, bc, n)
+        if hp.strategy == "fused":
+            for wins, rows2d, a_fused in dc.fused:
+                b_f = g3[rows2d].reshape(rows2d.shape[0], -1, n)
+                acc[wins] += xp.matmul(a_fused, b_f)
+            return
+        tiles = self._chunk_tiles(xp, state, ex, hp)
+        # batched_tile_mma(g3, tiles, assume_rounded=True): A_tile @ B_tile
+        part = xp.matmul(tiles, g3)
+        if hp.strategy == "direct":
+            acc[dc.uniq_w] += part
+        elif hp.strategy == "stepped":
+            if dc.single_rows is not None:
+                acc[dc.single_wins] += part[dc.single_rows]
+            if dc.short_first is not None:
+                fold = part[dc.short_first_p1]
+                for n_open, rows in dc.short_steps:
+                    fold[:n_open] += part[rows]
+                fold += part[dc.short_first]  # a0 + rest (commutative)
+                acc[dc.short_wins] += fold
+            if dc.long_rows is not None:
+                acc[dc.long_wins] += device_reduceat(
+                    xp, part[dc.long_rows], dc.long_first
+                )
+        else:
+            acc[dc.uniq_w] += device_reduceat(xp, part, dc.first)

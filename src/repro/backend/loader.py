@@ -1,0 +1,90 @@
+"""The guarded cupy loader and the GPU environment gate.
+
+This module is the **only** place in the library allowed to import
+``cupy`` (enforced statically by checker REP601): everything else asks
+:func:`load_cupy`, which answers ``(module, None)`` or ``(None, reason)``
+and never raises.  A missing, broken, or partially-installed cupy —
+including the fake one the conformance suite installs via
+``sys.modules`` — therefore degrades to a *reasoned* CPU fallback
+instead of an import error at call time.
+
+Environment gate (read per :func:`repro.backend.get_backend` resolution,
+so tests can flip it and ``reset_backend()``):
+
+``REPRO_USE_GPU``
+    ``1``/``true``/``yes``/``on`` opts the process default into the
+    cupy arm.  Unset or anything else: the CPU arm.
+``REPRO_GPU_DEVICE``
+    Integer CUDA device ordinal (default 0), selected via
+    ``cupy.cuda.Device(n).use()`` when the backend is constructed.  An
+    unparsable value is a fallback reason, not a crash.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: the cupy surface the backend actually uses; a module missing any of
+#: these is treated as absent (with the gap named in the reason)
+_REQUIRED_ATTRS = (
+    "ndarray",
+    "asarray",
+    "asnumpy",
+    "zeros",
+    "take",
+    "matmul",
+    "stack",
+    "cuda",
+)
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+#: memoised ``(module | None, reason | None)`` — cleared by
+#: :func:`reset`, which :func:`repro.backend.reset_backend` calls so a
+#: test-installed fake (or a removed one) is re-discovered
+_cached: tuple | None = None
+
+
+def gpu_requested() -> bool:
+    """Whether ``REPRO_USE_GPU`` opts this process into the cupy arm."""
+    return os.environ.get("REPRO_USE_GPU", "").strip().lower() in _TRUTHY
+
+
+def gpu_device() -> tuple[int | None, str | None]:
+    """``(device ordinal, None)`` or ``(None, reason)`` from
+    ``REPRO_GPU_DEVICE``."""
+    raw = os.environ.get("REPRO_GPU_DEVICE", "").strip()
+    if not raw:
+        return 0, None
+    try:
+        return int(raw), None
+    except ValueError:
+        return None, f"REPRO_GPU_DEVICE={raw!r} is not an integer"
+
+
+def load_cupy() -> tuple:
+    """``(cupy module, None)`` when importable and usable, else
+    ``(None, reason)``.  Memoised; never raises."""
+    global _cached
+    if _cached is None:
+        try:
+            import cupy  # noqa: F401 - the sanctioned import site (REP601)
+        except Exception as exc:  # noqa: BLE001 - any failure is a reason
+            _cached = (None, f"import cupy failed: {exc!r}")
+        else:
+            missing = [a for a in _REQUIRED_ATTRS if not hasattr(cupy, a)]
+            if missing:
+                _cached = (
+                    None,
+                    "cupy module lacks required attributes: "
+                    + ", ".join(missing),
+                )
+            else:
+                _cached = (cupy, None)
+    return _cached
+
+
+def reset() -> None:
+    """Forget the memoised import result (test seam)."""
+    global _cached
+    _cached = None

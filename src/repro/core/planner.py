@@ -37,7 +37,7 @@ class AccPlan:
     kernel: SpMMKernel = field(repr=False, default=None)  # type: ignore
 
     # ------------------------------------------------------------------
-    def multiply(self, B: np.ndarray, numerics=None) -> np.ndarray:
+    def multiply(self, B: np.ndarray, numerics=None, backend=None) -> np.ndarray:
         """C = A @ B using the planned representation.
 
         Served by the plan's prepared executor: the first call compiles
@@ -47,13 +47,20 @@ class AccPlan:
         selects a :mod:`repro.tune` tier (``"exact"`` — the bit-for-bit
         default — ``"tf32"``, or ``"fast"``); each tier keeps its own
         compiled executor on the plan, so mixing tiers does not thrash.
+        ``backend`` selects the execution arm (``"cpu"``, ``"cupy"``, a
+        :class:`~repro.backend.base.DeviceBackend` instance, or ``None``
+        for the process default — see :mod:`repro.backend`).
         """
         B = np.ascontiguousarray(B, dtype=np.float32)
         if B.ndim != 2 or B.shape[0] != self.csr.n_cols:
             raise ValidationError(
                 f"B must be ({self.csr.n_cols}, N); got {B.shape}"
             )
-        return self.kernel.execute(self.tc_plan, B, numerics=numerics)
+        if backend is None:
+            return self.kernel.execute(self.tc_plan, B, numerics=numerics)
+        return self.kernel.execute(
+            self.tc_plan, B, numerics=numerics, backend=backend
+        )
 
     def prepare(
         self,
@@ -61,6 +68,7 @@ class AccPlan:
         mode: str | None = None,
         max_bytes: int | None = None,
         numerics=None,
+        backend=None,
     ) -> "AccPlan":
         """Eagerly build a prepared executor (it is otherwise built
         lazily on the first multiply).
@@ -73,7 +81,10 @@ class AccPlan:
         reassociating fp32 accumulation), or ``"fast"`` (fused chunks
         and no TF32 input rounding).  ``max_bytes`` bounds dense-tile
         materialisation; over it, the executor falls back to lazy
-        per-chunk decompression.  Returns ``self``.
+        per-chunk decompression.  ``backend`` additionally warms that
+        arm — on the cupy arm this performs the one-time device upload
+        of the compiled state, so the first multiply is steady-state.
+        Returns ``self``.
         """
         from repro.kernels.executor import EXEC_MODES, get_executor
 
@@ -92,6 +103,12 @@ class AccPlan:
             self.tc_plan.exec_cache = None  # budget is baked into executors
         ex = get_executor(self.tc_plan, numerics=numerics)
         ex.prepare_for(feature_dim or self.feature_dim)
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            resolve_backend(backend).prepare(
+                ex, feature_dim or self.feature_dim
+            )
         return self
 
     @property
@@ -195,13 +212,14 @@ class AccPlan:
             total += ex.nbytes
         return total
 
-    def multiply_many(self, Bs, numerics=None) -> np.ndarray:
+    def multiply_many(self, Bs, numerics=None, backend=None) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` in one pass over the plan.
 
         ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of
         equally-shaped ``(n_cols, N)`` matrices.  The tiled A
-        representation is decompressed once and shared across the batch;
-        each slice of the result is bit-for-bit identical to
+        representation is decompressed once and shared across the batch
+        (on the cupy arm the whole stack rides a single upload); each
+        slice of the result is bit-for-bit identical to
         ``multiply(Bs[i])``.
         """
         if not isinstance(Bs, np.ndarray):
@@ -211,7 +229,11 @@ class AccPlan:
             raise ValidationError(
                 f"Bs must be (batch, {self.csr.n_cols}, N); got {Bs.shape}"
             )
-        return self.kernel.execute(self.tc_plan, Bs, numerics=numerics)
+        if backend is None:
+            return self.kernel.execute(self.tc_plan, Bs, numerics=numerics)
+        return self.kernel.execute(
+            self.tc_plan, Bs, numerics=numerics, backend=backend
+        )
 
     def profile(self, feature_dim: int | None = None) -> KernelProfile:
         """Simulated launch profile on the plan's device."""

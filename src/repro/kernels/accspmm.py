@@ -122,11 +122,11 @@ class AccSpMMKernel(SpMMKernel):
         )
 
     def execute(
-        self, plan: TCPlan, B: np.ndarray, numerics=None
+        self, plan: TCPlan, B: np.ndarray, numerics=None, backend=None
     ) -> np.ndarray:
         # served by the plan's prepared executor (built lazily, cached on
         # the plan) — steady-state calls pay only for B-dependent work
-        return execute_tiled(plan, B, numerics=numerics)
+        return execute_tiled(plan, B, numerics=numerics, backend=backend)
 
     def simulate(
         self, plan: TCPlan, feature_dim: int, device: DeviceSpec

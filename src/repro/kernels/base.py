@@ -47,9 +47,11 @@ class SpMMKernel(abc.ABC):
         """Preprocess the sparse matrix; returns an opaque plan object."""
 
     @abc.abstractmethod
-    def execute(self, plan, B: np.ndarray, numerics=None) -> np.ndarray:
+    def execute(self, plan, B: np.ndarray, numerics=None, backend=None) -> np.ndarray:
         """Numeric SpMM on the planned representation.  ``numerics``
-        selects a :mod:`repro.tune.policy` tier (default ``exact``)."""
+        selects a :mod:`repro.tune.policy` tier (default ``exact``);
+        ``backend`` selects the execution arm (see :mod:`repro.backend`,
+        default: the process default)."""
 
     @abc.abstractmethod
     def simulate(self, plan, feature_dim: int, device: DeviceSpec) -> KernelProfile:

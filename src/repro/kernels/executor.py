@@ -668,65 +668,24 @@ class TCExecPlan:
         else:
             acc_i[cp.uniq_w] += np.add.reduceat(part, cp.first, axis=0)
 
-    def execute(self, B: np.ndarray) -> np.ndarray:
+    def execute(self, B: np.ndarray, backend=None) -> np.ndarray:
         """SpMM over the prepared state; ``B`` is ``(K, N)`` or
         ``(batch, K, N)``.  Bit-for-bit equal to the reference path in
-        ``"exact"`` mode."""
-        single = B.ndim == 2
-        if single:
-            B = B[None]
-        batch, _, n = B.shape
-        t = self.tiling
-        wr = t.window_rows
-        n_out = self.out_rank.size
-        out = np.zeros((batch, n_out, n), dtype=np.float32)
-        if t.n_blocks and batch:
-            with self._lock:
-                self.stats.calls += 1
-            prog = self._program_for(n)
-            max_rows = max(cp.k for cp in prog) * t.block_cols
-            buf = self._pool.acquire(max_rows, n)
-            acc = np.zeros((t.n_windows, wr, n), dtype=np.float32)
-            try:
-                if self.materialized or batch == 1:
-                    # member-outer: one member's rounded B + accumulator
-                    # stay cache-resident; chunk tiles are free views.
-                    # Per (member, chunk) the work — and therefore the
-                    # fp32 accumulation order — is identical to the
-                    # chunk-outer reference loop.
-                    for i in range(batch):
-                        if i:
-                            acc.fill(0.0)
-                        B_r_i = (
-                            tf32_round(B[i])
-                            if self.rounds_inputs
-                            else np.asarray(B[i], dtype=np.float32)
-                        )
-                        for cp in prog:
-                            self._run_chunk(
-                                cp, self._chunk_tiles(cp), B_r_i, acc, buf, n
-                            )
-                        self._finish_member(acc, out[i], n)
-                else:
-                    # lazy tiles + multi-B: decompress each chunk once
-                    # and share it across the whole batch
-                    B_r = (
-                        tf32_round(B)
-                        if self.rounds_inputs
-                        else np.asarray(B, dtype=np.float32)
-                    )
-                    accs = np.zeros(
-                        (batch, t.n_windows, wr, n), dtype=np.float32
-                    )
-                    for cp in prog:
-                        tiles = self._chunk_tiles(cp)
-                        for i in range(batch):
-                            self._run_chunk(cp, tiles, B_r[i], accs[i], buf, n)
-                    for i in range(batch):
-                        self._finish_member(accs[i], out[i], n)
-            finally:
-                self._pool.release(buf)
-        return out[0] if single else out
+        ``"exact"`` mode.
+
+        ``backend`` selects the execution arm — ``None`` (the process
+        default), ``"cpu"``, ``"cupy"``, or a
+        :class:`~repro.backend.base.DeviceBackend` instance.  The numpy
+        loop itself lives in :class:`~repro.backend.cpu.CpuBackend`
+        (extracted from this method); the cupy arm keeps an upload-once
+        device mirror of this executor's compiled state
+        (:class:`~repro.backend.gpu.DeviceExecState`), cached on the
+        instance so the stale-value pruning in :func:`get_executor`
+        invalidates it together with the executor.
+        """
+        from repro.backend import resolve_backend
+
+        return resolve_backend(backend).execute(self, B)
 
     def _finish_member(self, acc_i, out_i, n: int) -> None:
         """Undo the row relabeling into the caller-visible output slice."""

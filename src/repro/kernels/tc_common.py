@@ -78,7 +78,9 @@ class TCPlan:
 # ----------------------------------------------------------------------
 # numeric path
 # ----------------------------------------------------------------------
-def execute_tiled(plan: TCPlan, B: np.ndarray, numerics=None) -> np.ndarray:
+def execute_tiled(
+    plan: TCPlan, B: np.ndarray, numerics=None, backend=None
+) -> np.ndarray:
     """Numeric SpMM over the tiled representation (TF32 inputs, fp32 acc).
 
     ``B`` may be a single ``(K, N)`` right-hand side or a batched
@@ -88,7 +90,8 @@ def execute_tiled(plan: TCPlan, B: np.ndarray, numerics=None) -> np.ndarray:
     default ``exact`` numerics tier, results are bit-for-bit identical to
     :func:`execute_tiled_reference`, which re-derives all B-invariant
     state per call.  ``numerics`` selects a different tier (see
-    :mod:`repro.tune.policy`) with its documented error bound.
+    :mod:`repro.tune.policy`) with its documented error bound; ``backend``
+    selects the execution arm (see :mod:`repro.backend`).
 
     The output rows are returned in the *original* ordering — the planner
     undoes the row relabeling, matching a real kernel writing through the
@@ -96,7 +99,7 @@ def execute_tiled(plan: TCPlan, B: np.ndarray, numerics=None) -> np.ndarray:
     """
     from repro.kernels.executor import get_executor
 
-    return get_executor(plan, numerics=numerics).execute(B)
+    return get_executor(plan, numerics=numerics).execute(B, backend=backend)
 
 
 def execute_tiled_reference(

@@ -67,10 +67,10 @@ class TCGNNKernel(SpMMKernel):
         )
 
     def execute(
-        self, plan: TCPlan, B: np.ndarray, numerics=None
+        self, plan: TCPlan, B: np.ndarray, numerics=None, backend=None
     ) -> np.ndarray:
         # shares the prepared-executor path with all TC kernels
-        return execute_tiled(plan, B, numerics=numerics)
+        return execute_tiled(plan, B, numerics=numerics, backend=backend)
 
     def simulate(
         self, plan: TCPlan, feature_dim: int, device: DeviceSpec

@@ -29,6 +29,7 @@ from dataclasses import replace as dc_replace
 import numpy as np
 
 from repro.analysis.runtime import audit_guarded, create_lock
+from repro.backend import resolve_backend, validate_backend
 from repro.core.config import AccConfig
 from repro.core.planner import AccPlan, plan as build_plan
 from repro.errors import ValidationError
@@ -140,6 +141,7 @@ class SpMMEngine:
         max_idle_seconds: float | None = None,
         numerics=None,
         autotune: bool = False,
+        backend=None,
     ) -> None:
         # the lock exists before the state it guards, so the cache can
         # carry an owner_lock reference for its own held-lock assertion
@@ -164,6 +166,11 @@ class SpMMEngine:
         #: engine-default numerics tier (validated up front, so a typo
         #: fails at construction rather than on the first request)
         self.default_numerics = resolve_policy(numerics)
+        #: engine-default execution arm (name or DeviceBackend instance);
+        #: validated by name only — resolution stays lazy so the cupy
+        #: probe runs on first use, not at engine construction
+        validate_backend(backend)
+        self.backend = backend
         self.autotune = bool(autotune)
         #: per-key locks so a slow plan build only blocks same-key requests
         self._build_locks: dict = {}
@@ -405,6 +412,7 @@ class SpMMEngine:
         config: AccConfig | None = None,
         fp=None,
         numerics=None,
+        backend=None,
     ) -> np.ndarray:
         """``C = A @ B`` through the plan cache.
 
@@ -412,7 +420,9 @@ class SpMMEngine:
         answered directly — their product is trivially empty and the
         planner cannot tile them.  ``fp`` optionally carries ``A``'s
         precomputed fingerprint (see :meth:`get_plan`).  ``numerics``
-        overrides the engine's default tier for this request only."""
+        overrides the engine's default tier for this request only;
+        ``backend`` likewise overrides the engine's execution arm (see
+        :mod:`repro.backend`)."""
         B = np.asarray(B)  # dtype coercion is AccPlan.multiply's job
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         if csr.n_rows == 0 or csr.n_cols == 0:
@@ -429,8 +439,9 @@ class SpMMEngine:
         p = self.get_plan(
             csr, feature_dim=B.shape[-1], device=device, config=config, fp=fp
         )
+        eff_backend = backend if backend is not None else self.backend
         was_prepared = self._is_prepared(p, B.shape[-1], policy)
-        C = p.multiply(B, numerics=policy)
+        C = p.multiply(B, numerics=policy, backend=eff_backend)
         # only a multiply that built executor state can have grown the
         # entry enough to matter; steady-state hits skip the re-check
         # (and its O(entries) byte walk under the engine lock)
@@ -447,14 +458,17 @@ class SpMMEngine:
         config: AccConfig | None = None,
         fp=None,
         numerics=None,
+        backend=None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` through the plan cache.
 
         ``Bs`` is a ``(batch, n_cols, N)`` array or a sequence of 2-D
         matrices; the cached plan's tiles are decompressed once for the
-        whole batch.  ``fp`` optionally carries ``A``'s precomputed
-        fingerprint (see :meth:`get_plan`); ``numerics`` overrides the
-        engine's default tier for this request only.
+        whole batch (one device upload on the cupy arm).  ``fp``
+        optionally carries ``A``'s precomputed fingerprint (see
+        :meth:`get_plan`); ``numerics`` overrides the engine's default
+        tier for this request only; ``backend`` likewise overrides the
+        engine's execution arm.
         """
         if not isinstance(Bs, np.ndarray):
             Bs = np.stack([np.asarray(b) for b in Bs])
@@ -475,8 +489,9 @@ class SpMMEngine:
         p = self.get_plan(
             csr, feature_dim=Bs.shape[-1], device=device, config=config, fp=fp
         )
+        eff_backend = backend if backend is not None else self.backend
         was_prepared = self._is_prepared(p, Bs.shape[-1], policy)
-        Cs = p.multiply_many(Bs, numerics=policy)
+        Cs = p.multiply_many(Bs, numerics=policy, backend=eff_backend)
         if not was_prepared:
             with self._lock:
                 self.cache.enforce_limits()
@@ -510,6 +525,9 @@ class SpMMEngine:
         this process's store traffic (hits/misses/puts/quarantines) —
         in-memory counters only; use ``engine.store.as_dict()`` for the
         on-disk entry count and byte footprint (it scans the directory).
+        A ``"backend"`` sub-dict names the execution arm serving this
+        engine's default traffic; on the cupy arm it includes transfer
+        counts and resident ``device_bytes`` (see ``docs/GPU.md``).
 
         One consistent snapshot: counters, occupancy and configuration
         are all read under a single hold of the engine lock, so the
@@ -548,6 +566,9 @@ class SpMMEngine:
             "prep_hits": sum(ex.stats.prep_hits for ex in executors),
             "prep_misses": sum(ex.stats.prep_misses for ex in executors),
         }
+        # the resolved arm serving this engine's default traffic; on the
+        # cupy arm the info carries transfers/device_bytes accounting
+        out["backend"] = resolve_backend(self.backend).info()
         if self.store is not None:
             out["store"] = self.store.counters()
         return out

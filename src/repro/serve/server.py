@@ -8,7 +8,7 @@ speaking the length-prefixed binary frames of
 data-plane needs:
 
 * **Endpoints** — ``multiply`` (``C = A @ B`` with per-request
-  ``numerics``/``device`` overrides), ``submit`` (build/persist a plan
+  ``numerics``/``device``/``backend`` overrides), ``submit`` (build/persist a plan
   without multiplying), ``stats``/``metrics`` (engine stat dicts plus
   server counters), ``warm_start``, and ``ping``.
 * **Per-tenant quotas + admission control** — token-bucket rate limits
@@ -18,7 +18,8 @@ data-plane needs:
   response instead of queueing them into latency collapse.
 * **Same-fingerprint micro-batching** — concurrent ``multiply``
   requests for one matrix (same fingerprint, device, resolved numerics
-  tier, and operand shape) arriving within ``batch_window`` seconds
+  tier, execution backend, and operand shape) arriving within
+  ``batch_window`` seconds
   coalesce into one :meth:`~repro.serve.sharded.AsyncSpMMEngine.
   multiply_many` — PR 4's miss coalescing generalized to the data
   plane: the per-matrix preparation cost is amortized not just across
@@ -57,6 +58,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.runtime import audit_guarded, create_lock
+from repro.backend import validate_backend
 from repro.errors import (
     EngineClosedError,
     FormatError,
@@ -194,13 +196,14 @@ class _TokenBucket:
 class _Batch:
     """One open micro-batch: same-key multiplies awaiting a flush."""
 
-    __slots__ = ("csr", "fp", "device", "policy", "items", "closed")
+    __slots__ = ("csr", "fp", "device", "policy", "backend", "items", "closed")
 
-    def __init__(self, csr, fp, device, policy):
+    def __init__(self, csr, fp, device, policy, backend=None):
         self.csr = csr
         self.fp = fp
         self.device = device
         self.policy = policy
+        self.backend = backend
         self.items: list = []  # (B, tenant, future)
         self.closed = False
 
@@ -539,15 +542,18 @@ class SpMMServer:
             )
         device = meta.get("device")  # engine validates the name
         policy = self.engine.resolve_numerics(meta.get("numerics"), tenant)
+        backend = meta.get("backend")
+        validate_backend(backend)  # reject unknown arm names up front
         if csr.n_rows == 0 or csr.n_cols == 0:
             C = await self.engine.multiply(
-                csr, B, device=device, numerics=policy, tenant=tenant
+                csr, B, device=device, numerics=policy, tenant=tenant,
+                backend=backend,
             )
             batched = False
         else:
             fp = await self.engine.compute_fingerprint(csr)
             C, batched = await self._batched_multiply(
-                csr, fp, B, device, policy, tenant
+                csr, fp, B, device, policy, tenant, backend
             )
         with self._lock:
             self._counters["results_sent"] += 1
@@ -586,14 +592,15 @@ class SpMMServer:
     # micro-batching
     # ------------------------------------------------------------------
     async def _batched_multiply(
-        self, csr, fp, B, device, policy, tenant
+        self, csr, fp, B, device, policy, tenant, backend=None
     ) -> tuple:
         """Join (or open) the micro-batch for this request's key and
         await its flush.  The key is everything that must agree for two
         requests to share one ``multiply_many``: full fingerprint,
-        device, resolved numerics tier, and operand shape+dtype."""
+        device, resolved numerics tier, execution arm, and operand
+        shape+dtype."""
         loop = asyncio.get_running_loop()
-        key = (fp.full, device, policy.tier, B.shape, B.dtype.str)
+        key = (fp.full, device, policy.tier, backend, B.shape, B.dtype.str)
         fut = loop.create_future()
         with self._lock:
             batch = self._batches.get(key)
@@ -603,7 +610,7 @@ class SpMMServer:
                 or len(batch.items) >= self.config.max_batch
             )
             if leader:
-                batch = _Batch(csr, fp, device, policy)
+                batch = _Batch(csr, fp, device, policy, backend)
                 self._batches[key] = batch
             batch.items.append((B, tenant, fut))
         if leader:
@@ -626,6 +633,7 @@ class SpMMServer:
                 C = await self.engine.multiply(
                     batch.csr, B, device=batch.device,
                     numerics=batch.policy, tenant=tenant, fp=batch.fp,
+                    backend=batch.backend,
                 )
                 with self._lock:
                     self._counters["single_requests"] += 1
@@ -639,6 +647,7 @@ class SpMMServer:
                 Cs = await self.engine.multiply_many(
                     batch.csr, Bs, device=batch.device,
                     numerics=batch.policy, fp=batch.fp,
+                    backend=batch.backend,
                 )
                 with self._lock:
                     self._counters["batches"] += 1
@@ -727,11 +736,14 @@ class SpMMClient:
 
     # -- endpoints -----------------------------------------------------
     def multiply(self, A, B, tenant=None, numerics=None,
-                 device=None) -> np.ndarray:
+                 device=None, backend=None) -> np.ndarray:
         """``C = A @ B`` on the server; bit-for-bit what a local engine
-        would produce at the same numerics tier."""
+        would produce at the same numerics tier.  ``backend`` picks the
+        server-side execution arm (``"cpu"``/``"cupy"``; default: the
+        server's process default — see ``docs/GPU.md``)."""
         meta, arrays = self._matrix_request(
-            A, {"tenant": tenant, "numerics": numerics, "device": device}
+            A, {"tenant": tenant, "numerics": numerics, "device": device,
+                "backend": backend}
         )
         arrays["b"] = np.asarray(B)
         frame = self._rpc("multiply", meta, arrays)

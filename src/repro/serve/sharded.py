@@ -81,8 +81,9 @@ class ShardedSpMMEngine:
     exec_max_bytes, policy, max_idle_seconds, device, config:
         Forwarded to every shard engine (see
         :class:`~repro.serve.engine.SpMMEngine`).
-    numerics, autotune:
-        Fleet-wide numerics tier default and per-plan autotuning flag,
+    numerics, autotune, backend:
+        Fleet-wide numerics tier default, per-plan autotuning flag, and
+        execution-arm default (see :mod:`repro.backend`),
         forwarded to every shard engine.  Per-tenant tiers
         (:meth:`set_tenant_numerics`) and per-request ``numerics=``
         overrides layer on top: request beats tenant beats this default.
@@ -117,6 +118,7 @@ class ShardedSpMMEngine:
         max_idle_seconds: float | None = None,
         numerics=None,
         autotune: bool = False,
+        backend=None,
     ) -> None:
         if not 1 <= int(n_shards) <= 256:
             raise ValueError(f"n_shards must be in 1..256; got {n_shards}")
@@ -143,6 +145,7 @@ class ShardedSpMMEngine:
                 max_idle_seconds=max_idle_seconds,
                 numerics=numerics,
                 autotune=autotune,
+                backend=backend,
             )
             for _ in range(self.n_shards)
         ]
@@ -235,6 +238,7 @@ class ShardedSpMMEngine:
         fp: MatrixFingerprint | None = None,
         tenant=None,
         numerics=None,
+        backend=None,
     ) -> np.ndarray:
         """``C = A @ B`` through the owning shard's plan cache.
 
@@ -243,7 +247,8 @@ class ShardedSpMMEngine:
         :meth:`SpMMEngine.get_plan`); ``tenant`` tags the request in the
         per-tenant stats and selects the tenant's pinned numerics tier;
         ``numerics`` overrides both the tenant pin and the engine
-        default for this request."""
+        default for this request; ``backend`` overrides the fleet-wide
+        execution arm."""
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         self._note_tenant(tenant, "requests")
         numerics = self._resolve_numerics(numerics, tenant)
@@ -251,12 +256,14 @@ class ShardedSpMMEngine:
             # trivially empty; shard 0 validates and answers (no plan
             # is built, so placement is irrelevant)
             return self.shards[0].spmm(
-                csr, B, device=device, config=config, numerics=numerics
+                csr, B, device=device, config=config, numerics=numerics,
+                backend=backend,
             )
         if fp is None:
             fp = fingerprint(csr)
         return self._shard_for(fp).spmm(
-            csr, B, device=device, config=config, fp=fp, numerics=numerics
+            csr, B, device=device, config=config, fp=fp, numerics=numerics,
+            backend=backend,
         )
 
     def multiply_many(
@@ -268,23 +275,27 @@ class ShardedSpMMEngine:
         fp: MatrixFingerprint | None = None,
         tenant=None,
         numerics=None,
+        backend=None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` through the owning shard.
 
         Numerics precedence matches :meth:`spmm`: request override >
-        tenant pin > engine default."""
+        tenant pin > engine default; ``backend`` overrides the
+        fleet-wide execution arm."""
         csr = coo_to_csr(A) if isinstance(A, COOMatrix) else A
         self._note_tenant(tenant, "requests")
         self._note_tenant(tenant, "batched_requests")
         numerics = self._resolve_numerics(numerics, tenant)
         if csr.n_rows == 0 or csr.n_cols == 0:
             return self.shards[0].multiply_many(
-                csr, Bs, device=device, config=config, numerics=numerics
+                csr, Bs, device=device, config=config, numerics=numerics,
+                backend=backend,
             )
         if fp is None:
             fp = fingerprint(csr)
         return self._shard_for(fp).multiply_many(
-            csr, Bs, device=device, config=config, fp=fp, numerics=numerics
+            csr, Bs, device=device, config=config, fp=fp, numerics=numerics,
+            backend=backend,
         )
 
     def get_plan(
@@ -393,8 +404,12 @@ class ShardedSpMMEngine:
         """
         per_shard = [shard.stats for shard in self.shards]
         agg: dict = {}
+        backend_info = None
         for s in per_shard:
             s.pop("store", None)  # shared store: reported once, below
+            # every shard shares the fleet-wide backend default; hoist
+            # the (identical) info dict to the top level like the store
+            backend_info = s.pop("backend", backend_info)
             for k, v in s.items():
                 if isinstance(v, bool) or not isinstance(v, (int, float)):
                     continue
@@ -409,6 +424,7 @@ class ShardedSpMMEngine:
         )
         agg["n_shards"] = self.n_shards
         agg["policy"] = per_shard[0]["policy"]
+        agg["backend"] = backend_info
         if self.store is not None:
             agg["store"] = self.store.counters()
         with self._tenant_lock:
@@ -674,12 +690,14 @@ class AsyncSpMMEngine:
         tenant=None,
         numerics=None,
         fp: MatrixFingerprint | None = None,
+        backend=None,
     ) -> np.ndarray:
         """``C = A @ B`` without blocking the event loop.
 
         ``numerics`` overrides the numerics tier for this request; a
         tagged tenant's pinned tier applies otherwise (see
-        :meth:`ShardedSpMMEngine.set_tenant_numerics`).  ``fp``
+        :meth:`ShardedSpMMEngine.set_tenant_numerics`).  ``backend``
+        overrides the execution arm (see :mod:`repro.backend`).  ``fp``
         optionally carries ``A``'s precomputed fingerprint (the server
         passes the one it grouped batches by); it must be the
         fingerprint of *this* ``A``.  Raises
@@ -695,7 +713,8 @@ class AsyncSpMMEngine:
             if csr.n_rows == 0 or csr.n_cols == 0:
                 # trivial answer; engine.spmm validates without planning
                 return self.engine.spmm(
-                    csr, B, device=device, config=config, numerics=numerics
+                    csr, B, device=device, config=config, numerics=numerics,
+                    backend=backend,
                 )
             if fp is None:
                 fp = await loop.run_in_executor(self._pool, fingerprint, csr)
@@ -707,7 +726,7 @@ class AsyncSpMMEngine:
                 self._pool,
                 partial(
                     self.engine.spmm, csr, B, device=device, config=config,
-                    fp=fp, numerics=numerics,
+                    fp=fp, numerics=numerics, backend=backend,
                 ),
             )
         finally:
@@ -722,10 +741,11 @@ class AsyncSpMMEngine:
         tenant=None,
         numerics=None,
         fp: MatrixFingerprint | None = None,
+        backend=None,
     ) -> np.ndarray:
         """Batched ``C[i] = A @ Bs[i]`` without blocking the event loop.
 
-        Numerics precedence and the ``fp``/drain contracts match
+        Numerics/backend precedence and the ``fp``/drain contracts match
         :meth:`multiply`."""
         self._begin()
         try:
@@ -737,7 +757,8 @@ class AsyncSpMMEngine:
             numerics = self._resolve_numerics(numerics, tenant)
             if csr.n_rows == 0 or csr.n_cols == 0:
                 return self.engine.multiply_many(
-                    csr, Bs, device=device, config=config, numerics=numerics
+                    csr, Bs, device=device, config=config, numerics=numerics,
+                    backend=backend,
                 )
             if fp is None:
                 fp = await loop.run_in_executor(self._pool, fingerprint, csr)
@@ -749,7 +770,7 @@ class AsyncSpMMEngine:
                 self._pool,
                 partial(
                     self.engine.multiply_many, csr, Bs, device=device,
-                    config=config, fp=fp, numerics=numerics,
+                    config=config, fp=fp, numerics=numerics, backend=backend,
                 ),
             )
         finally:

@@ -7,7 +7,12 @@ import pytest
 
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
-from repro.sparse.random import block_community_graph, erdos_renyi, powerlaw_graph
+from repro.sparse.random import (
+    banded_matrix,
+    block_community_graph,
+    erdos_renyi,
+    powerlaw_graph,
+)
 
 
 @pytest.fixture(scope="session")
@@ -23,6 +28,59 @@ def random_csr(n_rows=64, n_cols=64, density=0.1, seed=0, values="uniform"):
     if values == "ones":
         dense = mask.astype(np.float32)
     return coo_to_csr(COOMatrix.from_dense(dense.astype(np.float32)))
+
+
+# ----------------------------------------------------------------------
+# helpers shared by the executor/autotune/numerics/backend suites
+# (formerly duplicated per test module)
+# ----------------------------------------------------------------------
+def bits_equal(x: np.ndarray, y: np.ndarray) -> bool:
+    """Strict bitwise comparison (catches even -0.0 vs +0.0 drift)."""
+    return x.shape == y.shape and np.array_equal(
+        x.view(np.uint32), y.view(np.uint32)
+    )
+
+
+def make_b(csr, n=16, seed=7):
+    """A dense B sized to ``csr``'s column count."""
+    r = np.random.default_rng(seed)
+    return r.uniform(-1.0, 1.0, (csr.n_cols, n)).astype(np.float32)
+
+
+def rhs(n_cols, n=16, seed=11, batch=None):
+    """A dense B (or a batched stack of them) by explicit column count."""
+    r = np.random.default_rng(seed)
+    shape = (n_cols, n) if batch is None else (batch, n_cols, n)
+    return r.uniform(-1.0, 1.0, shape).astype(np.float32)
+
+
+def hub_csr(n=128, hub_nnz=90, density=0.06, seed=7):
+    """A matrix whose hub row forces RowWindows with > 8 TC blocks
+    (exercising the executor's long-segment compaction bucket)."""
+    r = np.random.default_rng(seed)
+    dense = np.where(
+        r.random((n, n)) < density, r.uniform(0.1, 1.0, (n, n)), 0.0
+    )
+    dense[3, r.choice(n, size=hub_nnz, replace=False)] = r.uniform(
+        0.5, 1.5, hub_nnz
+    )
+    return coo_to_csr(COOMatrix.from_dense(dense.astype(np.float32)))
+
+
+def dense_band():
+    """A near-dense banded matrix (fused-strategy / dense-chunk bait)."""
+    return coo_to_csr(banded_matrix(384, bandwidth=24, fill=0.95, seed=31))
+
+
+def sparse_graph():
+    """A very sparse uniform graph (stays on the gather strategies)."""
+    return coo_to_csr(erdos_renyi(384, avg_degree=4.0, seed=32))
+
+
+def max_row_nnz(csr) -> int:
+    """Worst-case accumulation depth (the numerics error-bound input)."""
+    d = np.diff(csr.indptr)
+    return int(d.max()) if d.size else 0
 
 
 @pytest.fixture

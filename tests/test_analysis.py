@@ -46,9 +46,11 @@ def run_on(tmp_path, files, select=None):
 # framework: registry, suppressions, baselines
 # ----------------------------------------------------------------------
 class TestFramework:
-    def test_all_five_checkers_register(self):
+    def test_repo_checkers_register(self):
         codes = {c.code for c in all_checkers()}
-        assert {"REP101", "REP102", "REP201", "REP301", "REP401"} <= codes
+        assert {
+            "REP101", "REP102", "REP201", "REP301", "REP401", "REP601",
+        } <= codes
 
     def test_select_narrows_the_run(self):
         codes = {c.code for c in all_checkers(select={"REP401"})}
@@ -362,6 +364,72 @@ class TestDtypeDiscipline:
         src = "import numpy as np\n\ndef f(n):\n    return np.zeros(n)\n"
         active, _ = run_on(
             tmp_path, {"repro/serve/engine.py": src}, select={"REP401"}
+        )
+        assert not active
+
+    def test_backend_package_is_a_hot_path(self, tmp_path):
+        src = "import numpy as np\n\ndef f(n):\n    return np.zeros(n)\n"
+        active, _ = run_on(
+            tmp_path, {"repro/backend/gpu.py": src}, select={"REP401"}
+        )
+        assert [f.code for f in active] == ["REP401"]
+
+
+# ----------------------------------------------------------------------
+# REP601 optional-gpu-imports
+# ----------------------------------------------------------------------
+class TestGpuImportDiscipline:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "import cupy\n",
+            "import cupy as cp\n",
+            "import cupy.cuda\n",
+            "from cupy import ndarray\n",
+            "from cupy.cuda import Device\n",
+            (
+                "import importlib\n\n"
+                "def f():\n"
+                "    return importlib.import_module('cupy')\n"
+            ),
+            (
+                "from importlib import import_module\n\n"
+                "def f():\n"
+                "    return import_module('cupy.cuda')\n"
+            ),
+        ],
+    )
+    def test_unsanctioned_cupy_import_fires_exactly_once(self, tmp_path, src):
+        active, _ = run_on(
+            tmp_path, {"repro/kernels/k.py": src}, select={"REP601"}
+        )
+        assert [f.code for f in active] == ["REP601"]
+
+    def test_the_guarded_loader_is_the_one_sanctioned_site(self, tmp_path):
+        active, _ = run_on(
+            tmp_path,
+            {"repro/backend/loader.py": "import cupy\n"},
+            select={"REP601"},
+        )
+        assert not active
+
+    def test_the_rest_of_the_backend_package_is_not_exempt(self, tmp_path):
+        active, _ = run_on(
+            tmp_path,
+            {"repro/backend/gpu.py": "import cupy\n"},
+            select={"REP601"},
+        )
+        assert [f.code for f in active] == ["REP601"]
+
+    def test_non_cupy_imports_and_dynamic_variables_pass(self, tmp_path):
+        src = (
+            "import importlib\n"
+            "import numpy as np\n\n"
+            "def f(name):\n"
+            "    return importlib.import_module(name)\n"
+        )
+        active, _ = run_on(
+            tmp_path, {"repro/serve/engine.py": src}, select={"REP601"}
         )
         assert not active
 

@@ -24,9 +24,7 @@ import repro
 from repro.errors import ValidationError
 from repro.kernels.tc_common import execute_tiled_reference
 from repro.serve.store import PlanStore
-from repro.serve.fingerprint import fingerprint
 from repro.sparse.convert import coo_to_csr
-from repro.sparse.random import banded_matrix, erdos_renyi
 from repro.sparse.stats import matrix_stats
 from repro.tune import autotune, prune_candidates
 from repro.tune.space import (
@@ -38,26 +36,7 @@ from repro.tune.space import (
     candidate_configs,
 )
 
-from conftest import random_csr
-
-
-def make_b(csr, n=16, seed=7):
-    r = np.random.default_rng(seed)
-    return r.uniform(-1.0, 1.0, (csr.n_cols, n)).astype(np.float32)
-
-
-def bits_equal(x, y):
-    return x.shape == y.shape and np.array_equal(
-        x.view(np.uint32), y.view(np.uint32)
-    )
-
-
-def dense_band():
-    return coo_to_csr(banded_matrix(384, bandwidth=24, fill=0.95, seed=31))
-
-
-def sparse_graph():
-    return coo_to_csr(erdos_renyi(384, avg_degree=4.0, seed=32))
+from conftest import bits_equal, dense_band, make_b, random_csr, sparse_graph
 
 
 # ----------------------------------------------------------------------

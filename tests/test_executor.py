@@ -29,33 +29,7 @@ from repro.serve import SpMMEngine
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
 
-from tests.conftest import random_csr
-
-
-def bits_equal(a: np.ndarray, b: np.ndarray) -> bool:
-    """Strict bitwise comparison (catches even -0.0 vs +0.0 drift)."""
-    return a.shape == b.shape and np.array_equal(
-        a.view(np.uint32), b.view(np.uint32)
-    )
-
-
-def hub_csr(n=128, hub_nnz=90, density=0.06, seed=7):
-    """A matrix whose hub row forces RowWindows with > 8 TC blocks
-    (exercising the executor's long-segment compaction bucket)."""
-    r = np.random.default_rng(seed)
-    dense = np.where(
-        r.random((n, n)) < density, r.uniform(0.1, 1.0, (n, n)), 0.0
-    )
-    dense[3, r.choice(n, size=hub_nnz, replace=False)] = r.uniform(
-        0.5, 1.5, hub_nnz
-    )
-    return coo_to_csr(COOMatrix.from_dense(dense.astype(np.float32)))
-
-
-def rhs(n_cols, n=16, seed=11, batch=None):
-    r = np.random.default_rng(seed)
-    shape = (n_cols, n) if batch is None else (batch, n_cols, n)
-    return r.uniform(-1.0, 1.0, shape).astype(np.float32)
+from tests.conftest import bits_equal, hub_csr, random_csr, rhs
 
 
 DEVICE = get_device("a800")

@@ -1,0 +1,187 @@
+"""Property tests for the wire frames: encode/decode is lossless for
+every plain-numeric array regardless of its memory layout.
+
+The encoder promises C-order bytes on the wire no matter how the caller
+laid the array out — Fortran order, transposes, positive/negative
+strides, broadcast (zero-stride) views, 0-d scalars, empty dims — and
+the decoder promises the original shape, dtype (including byte order),
+and *bits* (NaN payloads survive, so comparisons are on raw bytes).
+
+Hypothesis drives the layouts; the suite is skipped where hypothesis is
+not installed (it is in CI's test matrix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+from hypothesis.extra import numpy as hnp  # noqa: E402
+
+from repro.errors import ProtocolError  # noqa: E402
+from repro.serve.frames import decode_frame, encode_frame  # noqa: E402
+
+DTYPES = st.sampled_from(
+    [
+        np.dtype(np.bool_),
+        np.dtype(np.int8),
+        np.dtype(np.int32),
+        np.dtype(np.int64),
+        np.dtype(np.uint16),
+        np.dtype(np.float32),
+        np.dtype(np.float64),
+        np.dtype(np.float32).newbyteorder(">"),  # non-native byte order
+    ]
+)
+
+SHAPES = hnp.array_shapes(min_dims=0, max_dims=3, min_side=0, max_side=5)
+
+
+def base_arrays():
+    return DTYPES.flatmap(
+        lambda dt: hnp.arrays(
+            dtype=dt,
+            shape=SHAPES,
+            elements=hnp.from_dtype(
+                dt, allow_nan=True, allow_infinity=True
+            ),
+        )
+    )
+
+
+@st.composite
+def laid_out_arrays(draw):
+    """A base array pushed through a random memory-layout transform."""
+    arr = draw(base_arrays())
+    layout = draw(
+        st.sampled_from(
+            ["c", "fortran", "transpose", "strided", "reversed", "broadcast"]
+        )
+    )
+    if layout == "fortran":
+        arr = np.asfortranarray(arr)
+    elif layout == "transpose":
+        arr = arr.T
+    elif layout == "strided" and arr.ndim and arr.shape[0] > 1:
+        arr = arr[::2]
+    elif layout == "reversed" and arr.ndim and arr.shape[0] > 1:
+        arr = arr[::-1]
+    elif layout == "broadcast":
+        arr = np.broadcast_to(arr, (2,) + arr.shape)  # zero-stride axis
+    return arr
+
+
+def assert_same_bits(decoded: np.ndarray, original: np.ndarray) -> None:
+    assert decoded.shape == original.shape
+    assert decoded.dtype == original.dtype
+    # byte comparison: NaN != NaN would fail an equality check, and
+    # bit-identical is the actual wire contract
+    assert (
+        np.ascontiguousarray(decoded).tobytes()
+        == np.ascontiguousarray(original).tobytes()
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(arr=laid_out_arrays())
+    def test_any_layout_round_trips(self, arr):
+        frame = decode_frame(encode_frame("req", arrays={"a": arr}))
+        assert frame.kind == "req"
+        assert_same_bits(frame.arrays["a"], arr)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrs=st.lists(laid_out_arrays(), min_size=0, max_size=4))
+    def test_multiple_arrays_keep_identity(self, arrs):
+        named = {f"a{i}": a for i, a in enumerate(arrs)}
+        frame = decode_frame(encode_frame("req", arrays=named))
+        assert set(frame.arrays) == set(named)
+        for name, original in named.items():
+            assert_same_bits(frame.arrays[name], original)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        meta=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.none(),
+                st.booleans(),
+                st.integers(-(2**53), 2**53),
+                st.text(max_size=16),
+            ),
+            max_size=4,
+        )
+    )
+    def test_meta_round_trips(self, meta):
+        frame = decode_frame(encode_frame("req", meta=meta))
+        assert frame.meta == meta
+
+    @settings(max_examples=50, deadline=None)
+    @given(arr=base_arrays())
+    def test_none_entries_are_skipped(self, arr):
+        frame = decode_frame(
+            encode_frame("req", arrays={"a": arr, "b": None})
+        )
+        assert set(frame.arrays) == {"a"}
+        assert_same_bits(frame.arrays["a"], arr)
+
+    @settings(max_examples=100, deadline=None)
+    @given(arr=laid_out_arrays(), data=st.data())
+    def test_truncation_never_decodes(self, arr, data):
+        encoded = encode_frame("req", arrays={"a": arr})
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(encoded) - 1)
+        )
+        with pytest.raises(ProtocolError):
+            decode_frame(encoded[:cut])
+
+    @settings(max_examples=100, deadline=None)
+    @given(arr=laid_out_arrays(), extra=st.binary(min_size=1, max_size=8))
+    def test_trailing_garbage_never_decodes(self, arr, extra):
+        encoded = encode_frame("req", arrays={"a": arr})
+        with pytest.raises(ProtocolError):
+            decode_frame(encoded + extra)
+
+    @settings(max_examples=100, deadline=None)
+    @given(arr=laid_out_arrays(), data=st.data())
+    def test_single_bit_flips_in_head_never_crash(self, arr, data):
+        """Corrupting the fixed head either still decodes (a flip in a
+        don't-care bit cannot exist — every head field is load-bearing)
+        or raises ProtocolError; it must never raise anything else."""
+        encoded = bytearray(encode_frame("req", arrays={"a": arr}))
+        bit = data.draw(st.integers(min_value=0, max_value=28 * 8 - 1))
+        encoded[bit // 8] ^= 1 << (bit % 8)
+        try:
+            decode_frame(bytes(encoded))
+        except ProtocolError:
+            pass
+
+
+class TestScalarsAndEmpties:
+    def test_zero_d_scalar(self):
+        arr = np.float32(3.5)[()]  # 0-d ndarray
+        frame = decode_frame(encode_frame("req", arrays={"s": np.asarray(arr)}))
+        out = frame.arrays["s"]
+        assert out.shape == () and out.dtype == np.float32
+        assert out[()] == np.float32(3.5)
+
+    def test_empty_dim(self):
+        arr = np.zeros((3, 0, 2), dtype=np.int64)
+        frame = decode_frame(encode_frame("req", arrays={"e": arr}))
+        assert frame.arrays["e"].shape == (3, 0, 2)
+        assert frame.arrays["e"].dtype == np.int64
+
+    def test_rejects_object_dtype_at_encode(self):
+        with pytest.raises(ProtocolError, match="plain numeric"):
+            encode_frame("req", arrays={"o": np.array(["x"], dtype=object)})
+
+    def test_rejects_datetime_dtype_at_encode(self):
+        with pytest.raises(ProtocolError, match="plain numeric"):
+            encode_frame(
+                "req",
+                arrays={"t": np.zeros(2, dtype="datetime64[s]")},
+            )

@@ -35,23 +35,7 @@ from repro.tune.policy import (
     resolve_policy,
 )
 
-from conftest import random_csr
-
-
-def make_b(csr, n=32, seed=7):
-    r = np.random.default_rng(seed)
-    return r.uniform(-1.0, 1.0, (csr.n_cols, n)).astype(np.float32)
-
-
-def bits_equal(x, y):
-    return x.shape == y.shape and np.array_equal(
-        x.view(np.uint32), y.view(np.uint32)
-    )
-
-
-def max_row_nnz(csr):
-    d = np.diff(csr.indptr)
-    return int(d.max()) if d.size else 0
+from conftest import bits_equal, make_b, max_row_nnz, random_csr
 
 
 # ----------------------------------------------------------------------
@@ -125,7 +109,7 @@ class TestErrorBounds:
     @pytest.mark.parametrize("seed", [2, 3, 4])
     def test_random_matrices(self, tier, seed):
         csr = random_csr(n_rows=96, n_cols=80, density=0.15, seed=seed)
-        assert_within_bound(csr, make_b(csr, seed=seed + 50), tier)
+        assert_within_bound(csr, make_b(csr, n=32, seed=seed + 50), tier)
 
     @pytest.mark.parametrize("tier", ["tf32", "fast"])
     def test_signed_cancellation(self, tier):
@@ -139,7 +123,7 @@ class TestErrorBounds:
         from repro.sparse.coo import COOMatrix
 
         csr = coo_to_csr(COOMatrix.from_dense(dense))
-        assert_within_bound(csr, make_b(csr, seed=12), tier)
+        assert_within_bound(csr, make_b(csr, n=32, seed=12), tier)
 
     @pytest.mark.parametrize("tier", ["tf32", "fast"])
     def test_dataset_matrix(self, tier):
@@ -148,7 +132,7 @@ class TestErrorBounds:
 
     def test_exact_bit_for_bit_vs_reference(self):
         csr = random_csr(n_rows=128, n_cols=128, density=0.12, seed=6)
-        B = make_b(csr, seed=14)
+        B = make_b(csr, n=32, seed=14)
         p = repro.plan(csr, feature_dim=B.shape[1])
         ref = execute_tiled_reference(p.tc_plan, B)
         assert bits_equal(p.multiply(B, numerics="exact"), ref)
@@ -176,7 +160,7 @@ class TestErrorBounds:
 class TestPerModeExecutors:
     def test_tiers_do_not_thrash(self):
         csr = random_csr(n_rows=96, n_cols=96, density=0.1, seed=8)
-        B = make_b(csr, seed=15)
+        B = make_b(csr, n=32, seed=15)
         p = repro.plan(csr, feature_dim=B.shape[1])
         p.multiply(B, numerics="exact")
         p.multiply(B, numerics="fast")
@@ -191,7 +175,7 @@ class TestPerModeExecutors:
 
     def test_executor_for(self):
         csr = random_csr(seed=9)
-        B = make_b(csr, seed=16)
+        B = make_b(csr, n=32, seed=16)
         p = repro.plan(csr, feature_dim=B.shape[1])
         assert p.executor_for("fast") is None
         p.multiply(B, numerics="fast")
@@ -205,7 +189,7 @@ class TestPerModeExecutors:
         from repro.sparse.random import banded_matrix
 
         csr = coo_to_csr(banded_matrix(512, bandwidth=24, fill=0.95, seed=17))
-        B = make_b(csr, seed=18)
+        B = make_b(csr, n=32, seed=18)
         p = repro.plan(csr, feature_dim=B.shape[1])
         p.multiply(B, numerics="fast")
         ex = p.executor_for("fast")
@@ -222,7 +206,7 @@ class TestPerModeExecutors:
 class TestEngineNumerics:
     def test_engine_default_tier(self):
         csr = random_csr(seed=10)
-        B = make_b(csr, seed=19)
+        B = make_b(csr, n=32, seed=19)
         fast_engine = repro.SpMMEngine(numerics="fast")
         exact_engine = repro.SpMMEngine()
         assert fast_engine.default_numerics.tier == "fast"
@@ -239,7 +223,7 @@ class TestEngineNumerics:
 
     def test_per_request_override_wins(self):
         csr = random_csr(seed=11)
-        B = make_b(csr, seed=20)
+        B = make_b(csr, n=32, seed=20)
         engine = repro.SpMMEngine(numerics="fast")
         C = engine.spmm(csr, B, numerics="exact")
         ref = execute_tiled_reference(
@@ -253,7 +237,7 @@ class TestEngineNumerics:
 
     def test_spmm_api_forwards_numerics(self):
         csr = random_csr(seed=12)
-        B = make_b(csr, seed=21)
+        B = make_b(csr, n=32, seed=21)
         repro.reset_default_engine()
         try:
             C_exact = repro.spmm(csr, B)
@@ -270,7 +254,7 @@ class TestEngineNumerics:
 class TestShardedTenantNumerics:
     def test_tenant_pin_and_precedence(self):
         csr = coo_to_csr(erdos_renyi(256, avg_degree=8.0, seed=22))
-        B = make_b(csr, seed=23)
+        B = make_b(csr, n=32, seed=23)
         eng = ShardedSpMMEngine(n_shards=2)
         eng.set_tenant_numerics("alice", "fast")
         assert eng.tenant_numerics_for("alice").tier == "fast"
@@ -313,7 +297,7 @@ class TestShardedTenantNumerics:
 class TestAsyncNumerics:
     def test_request_and_tenant_tier(self):
         csr = coo_to_csr(erdos_renyi(192, avg_degree=8.0, seed=24))
-        B = make_b(csr, seed=25)
+        B = make_b(csr, n=32, seed=25)
 
         async def scenario():
             async with AsyncSpMMEngine(n_shards=2) as eng:

@@ -19,7 +19,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.errors import StoreVersionError
+from repro.errors import EngineClosedError, StoreVersionError
 from repro.serve import (
     AsyncSpMMEngine,
     ShardedSpMMEngine,
@@ -813,3 +813,51 @@ class TestShardedDefault:
         install_sharded_default(n_shards=2)
         reset_default_engine()
         assert isinstance(default_engine(), SpMMEngine)
+
+
+# ----------------------------------------------------------------------
+# drain vs in-flight warm_start (regression: the drain protocol must
+# bracket *every* admitted pool submission, warm_start included)
+# ----------------------------------------------------------------------
+class TestDrainDuringWarmStart:
+    def test_drain_waits_for_admitted_warm_start(self):
+        """drain() during an in-flight warm_start(): no deadlock, the
+        admitted warm-up still delivers its result, new work is
+        rejected the moment draining begins."""
+        inner = SpMMEngine()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated_warm_start(limit=None):
+            entered.set()
+            assert release.wait(10), "warm_start was never released"
+            return 7
+
+        inner.warm_start = gated_warm_start
+        A = make_csr(seed=41)
+        B = make_b(A)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            eng = AsyncSpMMEngine(engine=inner, max_workers=2)
+            warm = asyncio.create_task(eng.warm_start())
+            # the warm-up is admitted and running on the pool...
+            await loop.run_in_executor(None, entered.wait, 10)
+            drain = asyncio.create_task(eng.drain())
+            await asyncio.sleep(0.05)
+            # ...so the drain must still be waiting on it
+            assert not drain.done()
+            assert eng.stats["async"]["draining"]
+            # and anything submitted after drain() began is rejected
+            with pytest.raises(EngineClosedError):
+                await eng.multiply(A, B)
+            with pytest.raises(EngineClosedError):
+                await eng.warm_start()
+            release.set()
+            warmed = await asyncio.wait_for(warm, timeout=10)
+            await asyncio.wait_for(drain, timeout=10)
+            # idempotent: a second drain returns immediately
+            await asyncio.wait_for(eng.drain(), timeout=10)
+            return warmed
+
+        assert asyncio.run(main()) == 7

@@ -45,6 +45,7 @@ API_DOC_FILES = [
     ROOT / "docs" / "CONCURRENCY.md",
     ROOT / "docs" / "NUMERICS.md",
     ROOT / "docs" / "SERVER.md",
+    ROOT / "docs" / "GPU.md",
 ]
 #: modules bare CamelCase names (and ALL_CAPS constants) resolve against
 API_NAMESPACES = [
@@ -58,6 +59,9 @@ API_NAMESPACES = [
     "repro.serve.sharded",
     "repro.serve.store",
     "repro.errors",
+    "repro.backend",
+    "repro.backend.gpu",
+    "repro.backend.loader",
     "repro.kernels.executor",
     "repro.tune",
     "repro.tune.policy",

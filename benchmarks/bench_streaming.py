@@ -1,0 +1,171 @@
+"""Streaming structural deltas: window-local patching vs full replan.
+
+The streaming path's acceptance bar: for a small edit batch,
+:meth:`~repro.core.planner.AccPlan.apply_delta` must beat planning the
+edited matrix from scratch by a wide margin — the patch re-tiles only
+the touched RowWindows and skips the data-affinity reorder and the
+global nnz sort that dominate plan cost — while staying **bit-for-bit**
+identical to a fresh plan built with the base plan's reordering pinned
+(same tiling arrays, packed values, TB schedule, and multiply bits).
+
+Two entry points:
+
+* the pytest-benchmark experiment (DD dataset, edit batches of several
+  sizes) dumps the full table to ``results/streaming.txt``;
+* ``python bench_streaming.py --smoke`` is the CI guard: a power-law
+  synthetic, one small edit batch, asserting the >= 5x floor and exact
+  equality.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+import repro
+from repro.kernels.tc_common import execute_tiled
+from repro.sparse.convert import coo_to_csr
+from repro.sparse.datasets import load_dataset
+from repro.sparse.delta import GraphDelta
+from repro.sparse.random import powerlaw_graph
+
+from _common import dump, once
+
+FEATURE_DIM = 64
+SPEEDUP_FLOOR = 5.0
+
+
+def _b_for(A, seed=23):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, (A.n_cols, FEATURE_DIM)).astype(np.float32)
+
+
+def small_edits(A, n_edits, seed=7):
+    """An edit batch of ``n_edits`` upserts plus one real deletion,
+    clustered so only a handful of RowWindows go dirty."""
+    rng = np.random.default_rng(seed)
+    row0 = int(rng.integers(0, max(1, A.n_rows - 64)))
+    added = [
+        (row0 + int(rng.integers(64)), int(rng.integers(A.n_cols)),
+         float(rng.uniform(0.2, 1.0)))
+        for _ in range(n_edits)
+    ]
+    removed = None
+    for r in range(row0, min(row0 + 64, A.n_rows)):
+        lo, hi = int(A.indptr[r]), int(A.indptr[r + 1])
+        if hi > lo:
+            removed = [(r, int(A.indices[lo]))]
+            break
+    return GraphDelta.from_edges(added=added, removed=removed)
+
+
+def pinned_fresh(base, new_csr):
+    """A from-scratch plan with ``base``'s reordering pinned — the
+    reference ``apply_delta`` promises bit-equality with."""
+    opts = dict(base.kernel.options)
+    opts["reorder"] = base.tc_plan.reorder
+    return type(base.kernel)(**opts).plan(
+        new_csr, base.feature_dim, base.device
+    )
+
+
+def check_bitwise(patched, fresh_tc, B):
+    tp, tf = patched.tc_plan.tiling, fresh_tc.tiling
+    for name in type(tp).ARRAY_FIELDS:
+        assert np.array_equal(getattr(tp, name), getattr(tf, name)), name
+    assert (
+        patched.tc_plan.vals_packed.tobytes() == fresh_tc.vals_packed.tobytes()
+    )
+    sp, sf = patched.tc_plan.schedule, fresh_tc.schedule
+    assert np.array_equal(sp.tb_start, sf.tb_start)
+    assert np.array_equal(sp.tb_end, sf.tb_end)
+    assert np.array_equal(
+        patched.multiply(B).view(np.uint32),
+        execute_tiled(fresh_tc, B).view(np.uint32),
+    ), "patched plan diverged from the pinned fresh plan"
+
+
+def patch_vs_replan(A, delta, B):
+    """One comparison: returns patch/replan seconds, verified exact."""
+    base = repro.plan(A, feature_dim=FEATURE_DIM)
+    t0 = time.perf_counter()
+    patched = base.apply_delta(delta)
+    t_patch = time.perf_counter() - t0
+    new_csr = delta.apply_to(A)
+    # the arm a deltaless deployment pays: full replan, reorder included
+    t0 = time.perf_counter()
+    replanned = repro.plan(new_csr, feature_dim=FEATURE_DIM)
+    t_replan = time.perf_counter() - t0
+    assert replanned.csr.nnz == patched.csr.nnz
+    check_bitwise(patched, pinned_fresh(base, new_csr), B)
+    return t_patch, t_replan
+
+
+def full_run():
+    A = load_dataset("DD")
+    B = _b_for(A)
+    rows = []
+    for n_edits in (1, 8, 64):
+        t_patch, t_replan = patch_vs_replan(A, small_edits(A, n_edits), B)
+        rows.append({
+            "matrix": "DD",
+            "n_edits": n_edits,
+            "patch_s": t_patch,
+            "replan_s": t_replan,
+            "speedup": t_replan / t_patch,
+        })
+    return rows
+
+
+def render(rows):
+    out = [
+        f"Streaming deltas: window-local patch vs full replan "
+        f"(N={FEATURE_DIM}; patched plans verified bit-for-bit against "
+        "pinned-reorder fresh plans)",
+        f"{'matrix':>8} {'edits':>6} {'patch ms':>10} {'replan ms':>10} "
+        f"{'speedup':>8}",
+    ]
+    for r in rows:
+        out.append(
+            f"{r['matrix']:>8} {r['n_edits']:>6} {r['patch_s']*1e3:>10.2f} "
+            f"{r['replan_s']*1e3:>10.2f} {r['speedup']:>7.1f}x"
+        )
+    return "\n".join(out) + "\n"
+
+
+def test_streaming_delta_speedup(benchmark):
+    rows = once(benchmark, full_run)
+    for r in rows:
+        assert r["speedup"] >= SPEEDUP_FLOOR, (
+            f"{r['n_edits']}-edit patch only {r['speedup']:.1f}x over "
+            f"full replan (need >= {SPEEDUP_FLOOR}x)"
+        )
+    dump("streaming", render(rows))
+
+
+# ----------------------------------------------------------------------
+# CI perf smoke
+# ----------------------------------------------------------------------
+def smoke():
+    A = coo_to_csr(powerlaw_graph(8000, avg_degree=8.0, seed=3))
+    B = _b_for(A)
+    t_patch, t_replan = patch_vs_replan(A, small_edits(A, 8), B)
+    speedup = t_replan / t_patch
+    print(
+        f"streaming smoke: patch {t_patch*1e3:.2f} ms, "
+        f"full replan {t_replan*1e3:.2f} ms ({speedup:.1f}x)"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"delta patch only {speedup:.1f}x over full replan "
+        f"(need >= {SPEEDUP_FLOOR}x)"
+    )
+    print("streaming smoke: OK")
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        smoke()
+    else:
+        rows = full_run()
+        print(render(rows))
+        dump("streaming", render(rows))

@@ -89,6 +89,7 @@ from repro.tune import NumericsPolicy, TunedConfig, resolve_policy
 from repro.sparse import (
     COOMatrix,
     CSRMatrix,
+    GraphDelta,
     coo_to_csr,
     csr_to_coo,
     load_dataset,
@@ -127,6 +128,7 @@ __all__ = [
     "get_device",
     "COOMatrix",
     "CSRMatrix",
+    "GraphDelta",
     "coo_to_csr",
     "csr_to_coo",
     "load_dataset",

@@ -225,3 +225,138 @@ def build_tiling(
         block_window=block_window,
         perm_nnz=perm,
     )
+
+
+def retile_windows(
+    base: RowWindowTiling,
+    new_csr: CSRMatrix,
+    dirty_windows: np.ndarray,
+) -> RowWindowTiling:
+    """Rebuild only ``dirty_windows`` of ``base`` against ``new_csr``.
+
+    ``new_csr`` is the edited matrix *in the same coordinate space* as
+    the one ``base`` was built from (i.e. already reordered), and every
+    window whose sparsity pattern changed must be listed in
+    ``dirty_windows``.  Clean windows are spliced straight from
+    ``base``; each dirty window is re-tiled via :func:`build_tiling` on
+    its own row slice.
+
+    The result is bit-for-bit identical to
+    ``build_tiling(new_csr, base.window_rows, base.block_cols)``: the
+    global sort key is window-major, so a window's nnz are contiguous in
+    packed order, and a stable argsort of one window's slice reproduces
+    the global order restricted to that window.  That identity is what
+    lets :meth:`repro.core.planner.AccPlan.apply_delta` promise patched
+    plans equal to fresh ones.
+    """
+    if new_csr.n_rows != base.n_rows or new_csr.n_cols != base.n_cols:
+        raise ValidationError(
+            "retile_windows: matrix shape does not match the base tiling "
+            f"({new_csr.n_rows}x{new_csr.n_cols} vs "
+            f"{base.n_rows}x{base.n_cols})"
+        )
+    wr = base.window_rows
+    bc = base.block_cols
+    n_windows = base.n_windows
+    dirty = np.unique(np.asarray(dirty_windows, dtype=np.int64))
+    if dirty.size == 0:
+        return base
+    if dirty[0] < 0 or dirty[-1] >= n_windows:
+        raise ValidationError(
+            f"retile_windows: dirty window out of range 0..{n_windows - 1}"
+        )
+
+    # Window boundaries in row / nnz space.  Windows partition the rows,
+    # so the packed-order nnz offset of a window equals its CSR offset.
+    row_bounds = np.minimum(
+        np.arange(n_windows + 1, dtype=np.int64) * np.int64(wr),
+        np.int64(base.n_rows),
+    )
+    new_nnz_off = new_csr.indptr[row_bounds]
+    base_nnz_off = base.tc_offset[base.row_window_offset]
+
+    blocks_per_window = base.blocks_per_window().copy()
+    tc_counts: list[np.ndarray] = []
+    sab: list[np.ndarray] = []
+    lrows: list[np.ndarray] = []
+    lcols: list[np.ndarray] = []
+    bwin: list[np.ndarray] = []
+    perm: list[np.ndarray] = []
+
+    def splice_clean(a: int, b: int) -> None:
+        """Carry windows [a, b) over from the base unchanged."""
+        if not np.array_equal(
+            np.diff(new_nnz_off[a : b + 1]), np.diff(base_nnz_off[a : b + 1])
+        ):
+            raise ValidationError(
+                "retile_windows: a window outside dirty_windows changed "
+                "its nnz count — the dirty set is incomplete"
+            )
+        b_lo = int(base.row_window_offset[a])
+        b_hi = int(base.row_window_offset[b])
+        n_lo = int(base_nnz_off[a])
+        n_hi = int(base_nnz_off[b])
+        tc_counts.append(np.diff(base.tc_offset[b_lo : b_hi + 1]))
+        sab.append(base.sparse_a_to_b[b_lo * bc : b_hi * bc])
+        lrows.append(base.local_rows[n_lo:n_hi])
+        lcols.append(base.local_cols[n_lo:n_hi])
+        bwin.append(base.block_window[b_lo:b_hi])
+        # per-window CSR shifts are constant across a clean run (nnz
+        # counts inside it are unchanged), so one vector add suffices
+        shift = np.int64(new_nnz_off[a] - base_nnz_off[a])
+        seg = base.perm_nnz[n_lo:n_hi]
+        perm.append(seg + shift if shift else seg)
+
+    def splice_dirty(w: int) -> None:
+        """Re-tile window ``w`` from its rows of ``new_csr``."""
+        lo = int(row_bounds[w])
+        hi = int(row_bounds[w + 1])
+        p0 = int(new_csr.indptr[lo])
+        p1 = int(new_csr.indptr[hi])
+        sub = CSRMatrix(
+            hi - lo,
+            base.n_cols,
+            new_csr.indptr[lo : hi + 1] - new_csr.indptr[lo],
+            new_csr.indices[p0:p1],
+            new_csr.vals[p0:p1],
+        )
+        t = build_tiling(sub, window_rows=wr, block_cols=bc)
+        blocks_per_window[w] = t.n_blocks
+        tc_counts.append(t.nnz_per_block())
+        sab.append(t.sparse_a_to_b)
+        lrows.append(t.local_rows)
+        lcols.append(t.local_cols)
+        bwin.append(np.full(t.n_blocks, w, dtype=np.int64))
+        perm.append(t.perm_nnz + np.int64(p0))
+
+    prev = 0
+    for w in dirty.tolist():
+        if prev < w:
+            splice_clean(prev, w)
+        splice_dirty(w)
+        prev = w + 1
+    if prev < n_windows:
+        splice_clean(prev, n_windows)
+
+    row_window_offset = np.zeros(n_windows + 1, dtype=np.int64)
+    np.cumsum(blocks_per_window, out=row_window_offset[1:])
+    all_counts = np.concatenate(tc_counts)
+    tc_offset = np.zeros(all_counts.size + 1, dtype=np.int64)
+    np.cumsum(all_counts, out=tc_offset[1:])
+    if int(tc_offset[-1]) != new_csr.nnz:
+        raise ValidationError(
+            "retile_windows: spliced nnz total disagrees with the matrix"
+        )
+    return RowWindowTiling(
+        n_rows=base.n_rows,
+        n_cols=base.n_cols,
+        window_rows=wr,
+        block_cols=bc,
+        row_window_offset=row_window_offset,
+        tc_offset=tc_offset,
+        sparse_a_to_b=np.concatenate(sab),
+        local_rows=np.concatenate(lrows),
+        local_cols=np.concatenate(lcols),
+        block_window=np.concatenate(bwin),
+        perm_nnz=np.concatenate(perm),
+    )

@@ -81,6 +81,24 @@ class AccSpMMKernel(SpMMKernel):
             )
         else:
             tiling = build_tiling(csr_r)
+        return self.assemble(csr, reorder, csr_r, tiling, feature_dim, device)
+
+    def assemble(
+        self,
+        csr: CSRMatrix,
+        reorder: ReorderResult,
+        csr_r: CSRMatrix,
+        tiling,
+        feature_dim: int,
+        device: DeviceSpec,
+    ) -> TCPlan:
+        """Format conversion + TB schedule for a reordered, tiled matrix.
+
+        The post-tiling half of :meth:`plan`; ``apply_delta`` feeds it a
+        window-spliced tiling so patched plans run the exact assembly
+        code fresh plans do.
+        """
+        opts = self.options
         bit = BitTCF.from_csr(csr_r, tiling)
 
         lb = opts.get("load_balance", "adaptive")

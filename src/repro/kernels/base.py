@@ -46,6 +46,28 @@ class SpMMKernel(abc.ABC):
     def plan(self, csr: CSRMatrix, feature_dim: int, device: DeviceSpec):
         """Preprocess the sparse matrix; returns an opaque plan object."""
 
+    def assemble(
+        self,
+        csr: CSRMatrix,
+        reorder,
+        csr_r: CSRMatrix,
+        tiling,
+        feature_dim: int,
+        device: DeviceSpec,
+    ):
+        """Build a plan from an already reordered + tiled matrix.
+
+        The post-tiling half of :meth:`plan`, exposed so the streaming
+        path (:meth:`repro.core.planner.AccPlan.apply_delta`) can splice
+        a window-locally retiled structure and still run the exact
+        format/schedule code a fresh plan would — that shared code path
+        is what makes patched plans bit-for-bit equal to fresh ones.
+        Kernels without window-local replan support don't override it.
+        """
+        raise NotImplementedError(
+            f"kernel {self.name!r} does not support window-local replanning"
+        )
+
     @abc.abstractmethod
     def execute(self, plan, B: np.ndarray, numerics=None, backend=None) -> np.ndarray:
         """Numeric SpMM on the planned representation.  ``numerics``

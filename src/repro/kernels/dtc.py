@@ -57,6 +57,19 @@ class DTCKernel(SpMMKernel):
             )
         else:
             tiling = build_tiling(csr_r)
+        return self.assemble(csr, reorder, csr_r, tiling, feature_dim, device)
+
+    def assemble(
+        self,
+        csr: CSRMatrix,
+        reorder: ReorderResult,
+        csr_r: CSRMatrix,
+        tiling,
+        feature_dim: int,
+        device: DeviceSpec,
+    ) -> TCPlan:
+        """Post-tiling half of :meth:`plan` (see the base class)."""
+        opts = self.options
         # metcf's row-major value layout is format detail; the numeric
         # executor consumes the tiling-packed order shared by all kernels
         vals_packed = csr_r.vals[tiling.perm_nnz]

@@ -510,51 +510,114 @@ class TCExecPlan:
 
     def _compile(self, bpc: int) -> list[_ChunkProgram]:
         t = self.tiling
-        bc = t.block_cols
-        chunks: list[_ChunkProgram] = []
         counts_nnz = t.nnz_per_block()
-        for b0 in range(0, t.n_blocks, bpc):
-            b1 = min(b0 + bpc, t.n_blocks)
-            k = b1 - b0
-            pos = self.pos_all[b0 * bc : b1 * bc]
-            lo = np.searchsorted(self.pad_all, b0 * bc)
-            hi = np.searchsorted(self.pad_all, b1 * bc)
-            pad_rows = self.pad_all[lo:hi] - b0 * bc
-            w = t.block_window[b0:b1]
-            uniq_w, first = np.unique(w, return_index=True)
-            seg_len = np.diff(np.append(first, k))
-            mean_nnz = counts_nnz[b0:b1].mean() if k else 0.0
-            if (seg_len == 1).all():
-                strategy = "direct"
-            elif (
-                self.mode != "exact"
-                and self.materialized
-                and (
-                    self._fused_hint
-                    if self._fused_hint is not None
-                    else mean_nnz >= FUSED_DENSITY_THRESHOLD
-                )
-            ):
-                strategy = "fused"
-            elif _stepped_replica_ok():
-                strategy = "stepped"
-            else:
-                strategy = "reduceat"
-            cp = _ChunkProgram(
-                b0=b0,
-                b1=b1,
-                strategy=strategy,
-                pos=pos,
-                pad_rows=pad_rows,
-                uniq_w=uniq_w,
-                first=first,
+        return [
+            self._compile_chunk(b0, min(b0 + bpc, t.n_blocks), counts_nnz)
+            for b0 in range(0, t.n_blocks, bpc)
+        ]
+
+    def _compile_chunk(
+        self, b0: int, b1: int, counts_nnz: np.ndarray
+    ) -> _ChunkProgram:
+        """Compile one chunk ``[b0, b1)`` (also the unit
+        :meth:`rebase_from` recompiles when a delta dirtied it)."""
+        t = self.tiling
+        bc = t.block_cols
+        k = b1 - b0
+        pos = self.pos_all[b0 * bc : b1 * bc]
+        lo = np.searchsorted(self.pad_all, b0 * bc)
+        hi = np.searchsorted(self.pad_all, b1 * bc)
+        pad_rows = self.pad_all[lo:hi] - b0 * bc
+        w = t.block_window[b0:b1]
+        uniq_w, first = np.unique(w, return_index=True)
+        seg_len = np.diff(np.append(first, k))
+        mean_nnz = counts_nnz[b0:b1].mean() if k else 0.0
+        if (seg_len == 1).all():
+            strategy = "direct"
+        elif (
+            self.mode != "exact"
+            and self.materialized
+            and (
+                self._fused_hint
+                if self._fused_hint is not None
+                else mean_nnz >= FUSED_DENSITY_THRESHOLD
             )
-            if strategy == "stepped":
-                self._compile_stepped(cp, seg_len)
-            elif strategy == "fused":
-                cp.fused_groups = self._compile_fused(cp, seg_len)
-            chunks.append(cp)
-        return chunks
+        ):
+            strategy = "fused"
+        elif _stepped_replica_ok():
+            strategy = "stepped"
+        else:
+            strategy = "reduceat"
+        cp = _ChunkProgram(
+            b0=b0,
+            b1=b1,
+            strategy=strategy,
+            pos=pos,
+            pad_rows=pad_rows,
+            uniq_w=uniq_w,
+            first=first,
+        )
+        if strategy == "stepped":
+            self._compile_stepped(cp, seg_len)
+        elif strategy == "fused":
+            cp.fused_groups = self._compile_fused(cp, seg_len)
+        return cp
+
+    def rebase_from(self, old: "TCExecPlan", dirty_blocks) -> int:
+        """Adopt ``old``'s chunk programs for chunks a delta left clean.
+
+        ``old`` is the executor of the plan a structural delta was
+        applied to; ``dirty_blocks`` lists every TC-block id (in the new
+        numbering) whose window was re-tiled.  Adoption requires the
+        delta to have preserved the block grid (equal
+        ``row_window_offset``) and the compile knobs to match — then a
+        clean chunk's program is identical to what a fresh compile would
+        produce (even the fused strategy's baked A slabs, since every
+        changed value lives in a dirty window), so reusing the object is
+        bit-neutral.  Dirty chunks are recompiled one by one.  Returns
+        the number of chunk programs reused (0 when ineligible).
+        """
+        t, ot = self.tiling, old.tiling
+        if (
+            old.mode != self.mode
+            or old.chunk_elems != self.chunk_elems
+            or old.max_bytes != self.max_bytes
+            or old.materialized != self.materialized
+            or old._fused_hint != self._fused_hint
+            or ot.window_rows != t.window_rows
+            or ot.block_cols != t.block_cols
+            or not np.array_equal(ot.row_window_offset, t.row_window_offset)
+        ):
+            return 0
+        dirty = np.unique(np.asarray(dirty_blocks, dtype=np.int64))
+        counts_nnz = t.nnz_per_block()
+        with old._lock:
+            donor = {bpc: list(prog) for bpc, prog in old._programs.items()}
+        reused = 0
+        for bpc, prog in donor.items():
+            rebuilt: list[_ChunkProgram] = []
+            adopted = 0
+            for cp in prog:
+                at = int(np.searchsorted(dirty, cp.b0))
+                if at < dirty.size and dirty[at] < cp.b1:
+                    rebuilt.append(
+                        self._compile_chunk(cp.b0, cp.b1, counts_nnz)
+                    )
+                else:
+                    rebuilt.append(cp)
+                    adopted += 1
+            with self._lock:
+                if (
+                    bpc not in self._programs
+                    and len(self._programs) < self._MAX_PROGRAMS
+                ):
+                    self._programs[bpc] = rebuilt
+                    reused += adopted
+                    for cp in rebuilt:
+                        self.stats.strategies[cp.strategy] = (
+                            self.stats.strategies.get(cp.strategy, 0) + 1
+                        )
+        return reused
 
     @staticmethod
     def _compile_stepped(cp: _ChunkProgram, seg_len: np.ndarray) -> None:

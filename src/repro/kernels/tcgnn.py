@@ -44,12 +44,24 @@ class TCGNNKernel(SpMMKernel):
             )
         else:
             tiling = build_tiling(csr)
-        tcf = TCF.from_csr(csr, tiling)
+        return self.assemble(csr, reorder, csr, tiling, feature_dim, device)
+
+    def assemble(
+        self,
+        csr: CSRMatrix,
+        reorder,
+        csr_r: CSRMatrix,
+        tiling,
+        feature_dim: int,
+        device: DeviceSpec,
+    ) -> TCPlan:
+        """Post-tiling half of :meth:`plan` (see the base class)."""
+        tcf = TCF.from_csr(csr_r, tiling)
         schedule = row_window_schedule(tiling)
         schedule.validate_against(tiling)
         return TCPlan(
             name=self.name,
-            csr_reordered=csr,
+            csr_reordered=csr_r,
             tiling=tiling,
             vals_packed=tcf.vals,
             schedule=schedule,

@@ -52,6 +52,8 @@ class CacheStats:
     evictions: int = 0
     #: misses served by repacking values into a cached structural plan
     value_refreshes: int = 0
+    #: plans derived by patching a cached base with a structural delta
+    delta_patches: int = 0
     #: full plan builds (reorder + tiling + schedule from scratch)
     plans_built: int = 0
     #: misses served by loading a persisted plan from the on-disk store
@@ -77,6 +79,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "value_refreshes": self.value_refreshes,
+            "delta_patches": self.delta_patches,
             "plans_built": self.plans_built,
             "store_hits": self.store_hits,
             "store_misses": self.store_misses,
@@ -208,13 +211,19 @@ class PlanCache:
 
         Used by the engine to serve value-only changes via repack; does
         not disturb LRU order or the hit/miss counters — the lookup that
-        led here was already counted as a miss.
+        led here was already counted as a miss.  It *does* refresh the
+        TTL signal: serving as a repack base is a real use, and without
+        the touch a plan whose traffic arrives purely as value refreshes
+        would be expired by ``max_idle_seconds`` mid-stream.
         """
         self._assert_owned()
         full_key = self._by_structure.get(structural_key)
         if full_key is None:
             return None
-        return self._entries.get(full_key)
+        entry = self._entries.get(full_key)
+        if entry is not None:
+            self._meta[full_key].last_used = self.clock()
+        return entry
 
     def put(self, key: tuple, plan: object, structural_key: tuple | None = None) -> None:
         """Insert (or refresh) an entry, evicting beyond the limits."""

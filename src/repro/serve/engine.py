@@ -301,6 +301,85 @@ class SpMMEngine:
         with self._lock:
             return self.cache.peek(key)
 
+    def apply_delta(
+        self,
+        fp,
+        added=None,
+        removed=None,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+    ):
+        """Derive, cache, and persist a plan for a structural edit.
+
+        ``fp`` is the fingerprint of the *base* matrix, which must be
+        resolvable — from the in-memory cache or the attached store;
+        streaming callers serve the full matrix once, then send deltas.
+        ``added``/``removed`` follow
+        :meth:`~repro.core.planner.AccPlan.apply_delta` (``added`` may be
+        a prebuilt :class:`~repro.sparse.delta.GraphDelta`).  Returns
+        ``(new_fingerprint, new_plan)``; the derived plan is inserted
+        under its own content key, so follow-up :meth:`spmm` traffic on
+        the edited matrix is a pure cache hit, and chained deltas can
+        name ``new_fingerprint`` as their base.
+
+        With a store attached, the delta itself is persisted as a chain
+        link (:meth:`~repro.serve.store.PlanStore.put_delta`), falling
+        back to a full plan write when the chain would grow past the
+        store's depth bound.  ``apply_delta`` is pure on the base plan,
+        so concurrent deltas on one base need no per-key build lock —
+        last insert wins under the engine lock.
+        """
+        from repro.sparse.delta import GraphDelta
+
+        spec = get_device(device) if device is not None else self.default_device
+        cfg = config or self.default_config
+        if isinstance(added, GraphDelta):
+            if removed is not None:
+                raise ValidationError(
+                    "pass either a GraphDelta or added/removed arrays, not both"
+                )
+            delta = added
+        else:
+            delta = GraphDelta.from_edges(added=added, removed=removed)
+        key = (fp.full, spec.name, cfg)
+        with self._lock:
+            base = self.cache.get(key)
+        if base is None and self.store is not None:
+            base = self.store.get(fp, spec.name, cfg)  # never raises
+            if base is not None:
+                # same scrubbing policy as the get_plan store-hit path
+                base.tc_plan.meta.pop("exec_mode", None)
+                base.tc_plan.meta.pop("exec_max_bytes", None)
+                if self.exec_max_bytes is not None:
+                    base.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+                with self._lock:
+                    self.cache.stats.store_hits += 1
+                self._adopt(base, fp=fp)
+        if base is None:
+            raise ValidationError(
+                "no cached or stored plan for the delta's base fingerprint; "
+                "serve the full matrix once before streaming deltas against it"
+            )
+        new_plan = base.apply_delta(delta)
+        if self.exec_max_bytes is not None:
+            new_plan.tc_plan.meta["exec_max_bytes"] = self.exec_max_bytes
+        new_fp = fingerprint(new_plan.csr)
+        new_key = (new_fp.full, spec.name, cfg)
+        new_structural = (new_fp.structural, spec.name, cfg)
+        with self._lock:
+            self.cache.stats.delta_patches += 1
+            self.cache.put(new_key, new_plan, structural_key=new_structural)
+        if self.store is not None:
+            # best-effort persistence: a chain link when the base is on
+            # disk and the chain stays within depth, else a full plan
+            stored = self.store.put_delta(
+                fp, new_fp, spec.name, cfg, delta,
+                build_seconds=new_plan.build_seconds,
+            )
+            if not stored:
+                self.store.put(new_fp, spec.name, cfg, new_plan)
+        return new_fp, new_plan
+
     @staticmethod
     def _refresh_values(base: AccPlan, csr: CSRMatrix) -> AccPlan:
         """New plan for a value-only change: repack values through the

@@ -30,7 +30,9 @@ payload schema changes.  Readers accept the closed range
 versions inside the range load with defaults for fields they predate
 (v1 containers lack the ``saved_at`` timestamp v2 added for the store's
 TTL policy; v1/v2 lack the ``tuned`` header block v3 added for the
-autotuner, and load as untuned paper-default plans) — and reject
+autotuner, and load as untuned paper-default plans; v4 added the
+``accdelta`` container *kind* for persisted delta chains — pre-v4 stores
+simply contain no chains) — and reject
 everything else with
 :class:`~repro.errors.StoreVersionError`, naming both the found and the
 supported versions (the store quarantines such entries, and the
@@ -68,8 +70,11 @@ from repro.tune.space import TunedConfig
 #: this version; v2 added the ``saved_at`` wall-clock header field that
 #: feeds the store's TTL/staleness policy; v3 added the ``tuned`` header
 #: block recording the autotuner's verdict (kernel, tile shape, fused
-#: hint) so a warm-started worker rebuilds the exact tuned kernel.
-PLAN_FORMAT_VERSION = 3
+#: hint) so a warm-started worker rebuilds the exact tuned kernel; v4
+#: added the ``accdelta`` container kind — a structural edit batch plus
+#: lineage headers — so the store can persist plan + delta chains
+#: instead of full replans for streaming graphs.
+PLAN_FORMAT_VERSION = 4
 
 #: Oldest version this build still reads.  Versions in
 #: [MIN_PLAN_FORMAT_VERSION, PLAN_FORMAT_VERSION] load (missing newer
@@ -581,6 +586,101 @@ def plan_from_bytes(data: bytes) -> AccPlan:
             f"expected an accplan container, got {header.get('kind')!r}"
         )
     return plan_from_payload(header["meta"], arrays)
+
+
+# ----------------------------------------------------------------------
+# GraphDelta (format v4: one link of a persisted delta chain)
+# ----------------------------------------------------------------------
+def delta_payload(
+    delta,
+    base_fp: MatrixFingerprint,
+    new_fp: MatrixFingerprint,
+    device: str,
+    config,
+    build_seconds: float,
+    depth: int,
+) -> tuple[dict, dict]:
+    """``(meta, arrays)`` for one persisted delta-chain link.
+
+    The header carries the **edited** matrix's fingerprint under the
+    same ``fingerprint`` key accplan containers use (so the store's
+    integrity checks and :func:`expected_fingerprint` are uniform across
+    kinds), plus ``base_fingerprint`` — the lineage pointer the loader
+    follows to the parent entry — ``depth`` (links between this entry
+    and the full plan at the chain root, used by the store's compaction
+    policy), and the device/config pair that locates the parent under
+    the store's digest scheme.
+    """
+    meta = {
+        "config": asdict(config),
+        "config_fp": config_fingerprint(config),
+        "device": str(device),
+        "build_seconds": float(build_seconds),
+        "depth": int(depth),
+        "saved_at": float(_wall_clock()),
+        "fingerprint": {
+            "n_rows": new_fp.n_rows,
+            "n_cols": new_fp.n_cols,
+            "nnz": new_fp.nnz,
+            "structure": new_fp.structure,
+            "values": new_fp.values,
+        },
+        "base_fingerprint": {
+            "n_rows": base_fp.n_rows,
+            "n_cols": base_fp.n_cols,
+            "nnz": base_fp.nnz,
+            "structure": base_fp.structure,
+            "values": base_fp.values,
+        },
+    }
+    return meta, delta.as_arrays()
+
+
+def delta_to_bytes(
+    delta,
+    base_fp: MatrixFingerprint,
+    new_fp: MatrixFingerprint,
+    device: str,
+    config,
+    build_seconds: float,
+    depth: int,
+) -> bytes:
+    """Serialise one delta-chain link to an ``accdelta`` container."""
+    meta, arrays = delta_payload(
+        delta, base_fp, new_fp, device, config, build_seconds, depth
+    )
+    return pack_container("accdelta", meta, arrays)
+
+
+def delta_from_payload(meta: dict, arrays: dict):
+    """Rebuild the :class:`~repro.sparse.delta.GraphDelta` of an
+    ``accdelta`` container; pair with :func:`base_fingerprint` and
+    :func:`expected_fingerprint` for the lineage endpoints."""
+    from repro.sparse.delta import GraphDelta
+
+    try:
+        return GraphDelta.from_arrays(arrays)
+    except StoreError:
+        raise
+    except _DECODE_ERRORS as exc:
+        raise StoreError(f"invalid GraphDelta payload: {exc}") from exc
+
+
+def base_fingerprint(header: dict) -> MatrixFingerprint:
+    """The parent-matrix fingerprint an accdelta header points at."""
+    try:
+        f = header["meta"]["base_fingerprint"]
+        return MatrixFingerprint(
+            n_rows=int(f["n_rows"]),
+            n_cols=int(f["n_cols"]),
+            nnz=int(f["nnz"]),
+            structure=str(f["structure"]),
+            values=str(f["values"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StoreError(
+            f"container header missing base fingerprint: {exc}"
+        ) from exc
 
 
 def expected_fingerprint(header: dict) -> MatrixFingerprint:

@@ -9,7 +9,11 @@ data-plane needs:
 
 * **Endpoints** — ``multiply`` (``C = A @ B`` with per-request
   ``numerics``/``device``/``backend`` overrides), ``submit`` (build/persist a plan
-  without multiplying), ``stats``/``metrics`` (engine stat dicts plus
+  without multiplying), ``delta`` (patch a cached plan with a
+  structural edit against a fingerprint — the streaming path; an
+  optional bundled ``b`` multiplies against the edited matrix in the
+  same round trip through the micro-batching machinery),
+  ``stats``/``metrics`` (engine stat dicts plus
   server counters), ``warm_start``, and ``ping``.
 * **Per-tenant quotas + admission control** — token-bucket rate limits
   per tenant (``ServerConfig.tenant_quotas``/``default_quota``),
@@ -73,14 +77,16 @@ from repro.serve.frames import (
     read_frame_from,
     write_frame,
 )
+from repro.serve.fingerprint import MatrixFingerprint
 from repro.serve.sharded import AsyncSpMMEngine
 from repro.sparse.convert import coo_to_csr
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.delta import GraphDelta
 
 #: request kinds that cost engine work and are therefore subject to
 #: quotas and the max_inflight admission gate
-_DATA_PLANE = ("multiply", "submit")
+_DATA_PLANE = ("multiply", "submit", "delta")
 
 #: error codes a server can send; ``internal`` is the 5xx class the CI
 #: load smoke requires to stay at zero
@@ -118,6 +124,41 @@ def payload_to_csr(meta: dict, arrays: dict) -> CSRMatrix:
     return CSRMatrix(
         n_rows, n_cols, arrays["indptr"], arrays["indices"], arrays["vals"]
     )
+
+
+def fingerprint_record(fp: MatrixFingerprint) -> dict:
+    """JSON-encodable record of a fingerprint — the wire shape ``submit``
+    and ``delta`` responses report and ``delta`` requests name their
+    base with."""
+    return {
+        "structure": fp.structure,
+        "values": fp.values,
+        "n_rows": fp.n_rows,
+        "n_cols": fp.n_cols,
+        "nnz": fp.nnz,
+    }
+
+
+def record_to_fingerprint(record) -> MatrixFingerprint:
+    """Inverse of :func:`fingerprint_record`; raises
+    :class:`~repro.errors.ValidationError` on a malformed record."""
+    if not isinstance(record, dict):
+        raise ValidationError(
+            "base_fingerprint must be a fingerprint record dict "
+            "(structure/values/n_rows/n_cols/nnz)"
+        )
+    try:
+        return MatrixFingerprint(
+            n_rows=int(record["n_rows"]),
+            n_cols=int(record["n_cols"]),
+            nnz=int(record["nnz"]),
+            structure=str(record["structure"]),
+            values=str(record["values"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(
+            f"malformed base_fingerprint record: {exc!r}"
+        ) from exc
 
 
 def _json_safe(obj):
@@ -278,6 +319,7 @@ class SpMMServer:
             "requests_total": 0,
             "multiplies": 0,
             "submits": 0,
+            "deltas": 0,
             "single_requests": 0,
             "batched_requests": 0,
             "batches": 0,
@@ -458,6 +500,8 @@ class SpMMServer:
             try:
                 if frame.kind == "multiply":
                     await self._handle_multiply(frame, meta, tenant, writer)
+                elif frame.kind == "delta":
+                    await self._handle_delta(frame, meta, tenant, writer)
                 else:
                     await self._handle_submit(frame, meta, tenant, writer)
             finally:
@@ -576,16 +620,61 @@ class SpMMServer:
             tenant=tenant,
         )
         await write_frame(
-            writer, "submitted",
+            writer, "submitted", {"fingerprint": fingerprint_record(fp)}
+        )
+
+    async def _handle_delta(self, frame, meta, tenant, writer) -> None:
+        """Patch a cached plan with a structural edit — the streaming
+        endpoint.
+
+        The request names its base by ``meta["base_fingerprint"]`` (the
+        record a prior ``submit``/``delta`` response reported — no
+        matrix payload travels), carries the edits as
+        ``GraphDelta.as_arrays`` payloads, and may bundle a dense ``b``
+        to multiply against the *edited* matrix in the same round trip —
+        that multiply reuses the same-fingerprint micro-batching
+        machinery under the new fingerprint, so concurrent post-edit
+        traffic coalesces exactly like ``multiply`` traffic."""
+        with self._lock:
+            self._counters["deltas"] += 1
+        base_fp = record_to_fingerprint(meta.get("base_fingerprint"))
+        try:
+            delta = GraphDelta.from_arrays(frame.arrays)
+        except KeyError as exc:
+            raise ValidationError(
+                f"delta request is missing edit array {exc}"
+            ) from exc
+        device = meta.get("device")  # engine validates the name
+        backend = meta.get("backend")
+        validate_backend(backend)
+        new_fp, new_plan = await self.engine.apply_delta(
+            base_fp, delta, device=device, tenant=tenant
+        )
+        B = frame.arrays.get("b")
+        if B is None:
+            await write_frame(
+                writer, "delta_applied",
+                {"fingerprint": fingerprint_record(new_fp)},
+            )
+            return
+        if B.ndim != 2:
+            raise ValidationError(
+                f"delta request array `b` must be 2-D; got {B.shape}"
+            )
+        policy = self.engine.resolve_numerics(meta.get("numerics"), tenant)
+        C, batched = await self._batched_multiply(
+            new_plan.csr, new_fp, B, device, policy, tenant, backend
+        )
+        with self._lock:
+            self._counters["results_sent"] += 1
+        await write_frame(
+            writer, "result",
             {
-                "fingerprint": {
-                    "structure": fp.structure,
-                    "values": fp.values,
-                    "n_rows": fp.n_rows,
-                    "n_cols": fp.n_cols,
-                    "nnz": fp.nnz,
-                }
+                "batched": batched,
+                "numerics": policy.tier,
+                "fingerprint": fingerprint_record(new_fp),
             },
+            {"c": C},
         )
 
     # ------------------------------------------------------------------
@@ -762,6 +851,68 @@ class SpMMClient:
         )
         meta["feature_dim"] = int(feature_dim)
         return self._rpc("submit", meta, arrays).meta
+
+    def delta(
+        self,
+        base_fingerprint,
+        added=None,
+        removed=None,
+        B=None,
+        tenant=None,
+        numerics=None,
+        device=None,
+        backend=None,
+    ):
+        """Patch the server-side plan for ``base_fingerprint`` with a
+        structural edit — no matrix payload travels, only the edits.
+
+        ``base_fingerprint`` is a fingerprint record (as returned by
+        :meth:`submit` or a previous :meth:`delta`) or a
+        :class:`~repro.serve.fingerprint.MatrixFingerprint`.
+        ``added``/``removed`` follow
+        :meth:`~repro.sparse.delta.GraphDelta.from_edges` (``added`` may
+        be a prebuilt :class:`~repro.sparse.delta.GraphDelta`).  Without
+        ``B``, returns the *new* fingerprint record for the edited
+        matrix; with a dense ``B``, the server multiplies against the
+        edited matrix in the same round trip and this returns
+        ``(C, fingerprint_record)``."""
+        if isinstance(base_fingerprint, MatrixFingerprint):
+            base_fingerprint = fingerprint_record(base_fingerprint)
+        if isinstance(added, GraphDelta):
+            if removed is not None:
+                raise ValidationError(
+                    "pass either a GraphDelta or added/removed arrays, "
+                    "not both"
+                )
+            delta = added
+        else:
+            delta = GraphDelta.from_edges(added=added, removed=removed)
+        meta = {"base_fingerprint": dict(base_fingerprint)}
+        meta.update(
+            {
+                k: v
+                for k, v in (
+                    ("tenant", tenant), ("numerics", numerics),
+                    ("device", device), ("backend", backend),
+                )
+                if v is not None
+            }
+        )
+        arrays = delta.as_arrays()
+        if B is not None:
+            arrays["b"] = np.asarray(B)
+        frame = self._rpc("delta", meta, arrays)
+        if B is None:
+            if frame.kind != "delta_applied":
+                raise ProtocolError(
+                    f"expected a delta_applied frame, got {frame.kind!r}"
+                )
+            return frame.meta["fingerprint"]
+        if frame.kind != "result" or "c" not in frame.arrays:
+            raise ProtocolError(
+                f"expected a result frame, got {frame.kind!r}"
+            )
+        return frame.arrays["c"], frame.meta["fingerprint"]
 
     def stats(self) -> dict:
         return self._rpc("stats").meta

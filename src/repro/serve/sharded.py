@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures as cf
+from collections import OrderedDict
 from functools import partial
 
 import numpy as np
@@ -103,7 +104,13 @@ class ShardedSpMMEngine:
     _GUARDED_BY_ = {
         "_tenants": "_tenant_lock",
         "_tenant_numerics": "_tenant_lock",
+        "_lineage": "_lineage_lock",
     }
+
+    #: bound on the delta-lineage pin map; evicting a pin only degrades
+    #: routing back to the structural hash (a cache miss the shared
+    #: store absorbs), never correctness
+    _LINEAGE_CAP = 4096
 
     def __init__(
         self,
@@ -154,6 +161,13 @@ class ShardedSpMMEngine:
         #: tenant -> NumericsPolicy served when the request itself does
         #: not pass ``numerics=`` (request override always wins)
         self._tenant_numerics: dict[str, object] = {}
+        self._lineage_lock = create_lock("ShardedSpMMEngine._lineage_lock")
+        #: structure digest of a delta-derived matrix -> the shard that
+        #: holds its base plan (insertion-ordered; oldest pins evicted
+        #: past ``_LINEAGE_CAP``).  Keeps a delta chain co-resident with
+        #: its base even though the edit changed the structural hash the
+        #: router would otherwise use.
+        self._lineage: "OrderedDict[str, int]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # routing
@@ -164,8 +178,28 @@ class ShardedSpMMEngine:
         Keyed on the **structural** hash so the full-key plan and any
         value-refreshed successors of the same sparsity pattern live on
         one shard — the structural repack path needs them co-resident.
+
+        Delta-derived matrices are the exception: a structural edit
+        changes the hash, so :meth:`apply_delta` pins the new structure
+        to the *base's* shard in the lineage map, and pinned structures
+        route there — the chain stays co-resident with its base.  A pin
+        evicted past ``_LINEAGE_CAP`` (or absent in a fresh process)
+        degrades to hash routing: a memory miss the shared store
+        resolves, never a wrong answer.
         """
+        with self._lineage_lock:
+            pinned = self._lineage.get(fp.structure)
+        if pinned is not None:
+            return pinned
         return int(fp.structure[:8], 16) % self.n_shards
+
+    def _pin_lineage(self, structure: str, idx: int) -> None:
+        """Record (move-to-newest) a derived structure's owning shard."""
+        with self._lineage_lock:
+            self._lineage[structure] = idx
+            self._lineage.move_to_end(structure)
+            while len(self._lineage) > self._LINEAGE_CAP:
+                self._lineage.popitem(last=False)
 
     def _shard_for(self, fp: MatrixFingerprint) -> SpMMEngine:
         return self.shards[self.shard_index(fp)]
@@ -324,16 +358,83 @@ class ShardedSpMMEngine:
         :meth:`SpMMEngine.lookup`)."""
         return self._shard_for(fp).lookup(fp, device=device, config=config)
 
+    def apply_delta(
+        self,
+        fp: MatrixFingerprint,
+        added=None,
+        removed=None,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        tenant=None,
+    ):
+        """Patch the base plan on its owning shard; pin the result there.
+
+        Routes by the *base* fingerprint (which itself may be a pinned
+        delta descendant, so chains of edits stay on one shard), calls
+        the shard's :meth:`SpMMEngine.apply_delta`, then records the
+        derived structure in the lineage map so follow-up :meth:`spmm`
+        traffic and further deltas on the new fingerprint route to the
+        shard that holds the plan.  Returns ``(new_fingerprint,
+        new_plan)``."""
+        self._note_tenant(tenant, "requests")
+        idx = self.shard_index(fp)
+        new_fp, new_plan = self.shards[idx].apply_delta(
+            fp, added=added, removed=removed, device=device, config=config
+        )
+        self._pin_lineage(new_fp.structure, idx)
+        return new_fp, new_plan
+
     # ------------------------------------------------------------------
     def _entry_shard(self, entry) -> int | None:
         """Route a store entry from its *header* fingerprint, before any
         payload is deserialised; ``None`` when the header is unreadable
-        (the load itself would quarantine such an entry anyway)."""
+        (the load itself would quarantine such an entry anyway).
+
+        Delta entries route by their chain *root's* structure — walked
+        through base headers, payloads untouched — so a warm-started
+        chain lands on the shard its base hashes to, matching the
+        placement :meth:`apply_delta` maintains for live traffic."""
         try:
-            structure = entry.meta["fingerprint"]["structure"]
+            structure = self._route_structure(entry)
+            if structure is None:
+                return None
             return int(str(structure)[:8], 16) % self.n_shards
         except (TypeError, KeyError, ValueError):
             return None
+
+    def _route_structure(self, entry) -> str | None:
+        """The structure digest that decides ``entry``'s shard: its own
+        for a full plan, the chain root's for a delta entry."""
+        if not getattr(entry, "is_delta", False) or self.store is None:
+            return entry.meta["fingerprint"]["structure"]
+        from repro.errors import StoreError
+        from repro.serve import serial
+        from repro.serve.store import PlanStore
+
+        meta = entry.meta
+        # bounded walk through base headers to the chain root
+        for _ in range(PlanStore.MAX_CHAIN_DEPTH):
+            base = meta.get("base_fingerprint")
+            if not isinstance(base, dict):
+                return None
+            digest = PlanStore._digest_parts(
+                (
+                    base["n_rows"], base["n_cols"], base["nnz"],
+                    base["structure"], base["values"],
+                ),
+                meta["device"],
+                meta["config_fp"],
+            )
+            try:
+                header, _, _ = serial.read_header_from_file(
+                    self.store.path_for(digest)
+                )
+            except (StoreError, OSError):
+                return None
+            if header.get("kind") != "accdelta":
+                return base["structure"]
+            meta = header["meta"]
+        return None
 
     def warm_start(self, limit: int | None = None) -> int:
         """Preload persisted plans, each into its *owning* shard.
@@ -369,6 +470,16 @@ class ShardedSpMMEngine:
                 continue
             buckets[idx].append(entry)
             remaining -= 1
+            if getattr(entry, "is_delta", False):
+                # keep post-warm-start routing consistent with the
+                # adopted placement (a lying header wastes the pin, the
+                # shared store still resolves the miss)
+                try:
+                    self._pin_lineage(
+                        str(entry.meta["fingerprint"]["structure"]), idx
+                    )
+                except (TypeError, KeyError):
+                    pass
         return sum(
             shard._warm_from(self.store, bucket, len(bucket))
             for shard, bucket in zip(self.shards, buckets)
@@ -389,6 +500,8 @@ class ShardedSpMMEngine:
             shard.clear()
         with self._tenant_lock:
             self._tenants.clear()
+        with self._lineage_lock:
+            self._lineage.clear()
 
     # ------------------------------------------------------------------
     @property
@@ -771,6 +884,37 @@ class AsyncSpMMEngine:
                 partial(
                     self.engine.multiply_many, csr, Bs, device=device,
                     config=config, fp=fp, numerics=numerics, backend=backend,
+                ),
+            )
+        finally:
+            self._end()
+
+    async def apply_delta(
+        self,
+        fp: MatrixFingerprint,
+        added=None,
+        removed=None,
+        device: DeviceSpec | str | None = None,
+        config: AccConfig | None = None,
+        tenant=None,
+    ):
+        """Patch a cached plan with a structural delta on the pool.
+
+        Wraps the engine's ``apply_delta`` (see
+        :meth:`SpMMEngine.apply_delta`): returns ``(new_fingerprint,
+        new_plan)``, rejects once :meth:`drain` has begun.  Deltas are
+        not coalesced — each request is one patch; streaming callers
+        serialise edits per matrix themselves, since two deltas against
+        one base fingerprint are independent edits, not duplicates."""
+        self._begin()
+        try:
+            self._note(tenant, "requests")
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool,
+                partial(
+                    self.engine.apply_delta, fp, added=added,
+                    removed=removed, device=device, config=config,
                 ),
             )
         finally:

@@ -79,6 +79,18 @@ def default_store_root() -> Path:
     return Path(base).expanduser() / "accspmm" / "plans"
 
 
+def _read_kind(path: Path) -> str | None:
+    """Container kind of the file at ``path`` (header-only read).
+
+    Raises :class:`StoreError` for unreadable containers; callers
+    re-checking an entry mid-gc treat that the same as "not a delta"."""
+    from repro.serve import serial
+
+    header, _, _ = serial.read_header_from_file(path)
+    kind = header.get("kind")
+    return str(kind) if kind is not None else None
+
+
 @dataclass
 class StoreStats:
     """Counters for one :class:`PlanStore` lifetime (this process)."""
@@ -116,6 +128,12 @@ class StoreEntry:
     #: decoded header metadata (fingerprint, device, config, build cost);
     #: ``None`` when the header itself is unreadable
     meta: dict | None = field(default=None)
+    #: container kind (``"accplan"`` or ``"accdelta"``); ``None`` when
+    #: the header is unreadable
+    kind: str | None = field(default=None)
+    #: the reader's clock at scan time, stamped by
+    #: :meth:`PlanStore.entries` — the upper clamp for :attr:`last_used`
+    now: float | None = field(default=None)
 
     @property
     def build_seconds(self) -> float:
@@ -124,18 +142,48 @@ class StoreEntry:
         return float(self.meta.get("build_seconds", 0.0))
 
     @property
+    def is_delta(self) -> bool:
+        return self.kind == "accdelta"
+
+    @property
+    def chain_depth(self) -> int:
+        """Links between this entry and the full plan at its chain root
+        (0 for full plans and unreadable headers)."""
+        if self.meta is None:
+            return 0
+        try:
+            return int(self.meta.get("depth", 0))
+        except (TypeError, ValueError):
+            return 0
+
+    @property
     def last_used(self) -> float:
-        """Recency signal for TTL gc: the newer of the file mtime
-        (refreshed on every successful load) and the ``saved_at`` wall
-        clock persisted in the v2 header (robust against tree copies
-        that reset mtimes; absent — 0 — in v1 containers)."""
+        """Recency signal for TTL gc, normalised to the reader's clock
+        domain.
+
+        Two raw signals exist: the file mtime (local filesystem clock,
+        refreshed on every successful load) and the ``saved_at`` wall
+        clock persisted in the v2 header (the *writer's* clock — robust
+        against tree copies that reset mtimes; absent — 0 — in v1
+        containers).  They live in different clock domains, so a signal
+        that runs *ahead* of :attr:`now` (scan time) is untrusted and
+        discarded rather than merely clamped: a skewed writer's
+        ``saved_at`` would otherwise pin idle time at zero forever,
+        making the entry immortal to every ``max_idle_seconds`` cutoff.
+        The newest surviving in-domain signal wins; when every signal is
+        ahead of the reader (the local clock itself stepped backwards),
+        fall back to scan time — eviction then waits for the local clock
+        to recover, which is the conservative failure mode."""
         saved_at = 0.0
         if self.meta is not None:
             try:
                 saved_at = float(self.meta.get("saved_at", 0.0))
             except (TypeError, ValueError):
                 saved_at = 0.0
-        return max(self.mtime, saved_at)
+        if self.now is None:
+            return max(self.mtime, saved_at)
+        in_domain = [t for t in (self.mtime, saved_at) if t <= self.now]
+        return max(in_domain) if in_domain else self.now
 
 
 class PlanStore:
@@ -171,6 +219,16 @@ class PlanStore:
         budget is configured) drops entries idle longer than this —
         idleness measured on :attr:`StoreEntry.last_used`, so an entry
         loaded (or written) since the cutoff is never dropped.
+    compact_depth:
+        Delta chains this long or longer are rewritten as full plans
+        during :meth:`gc` (``None`` disables compaction there; the
+        depth cap on :meth:`put_delta` still applies).
+    clock:
+        The wall clock (``time.time``-compatible) used for TTL
+        reference times and temp-file reaping.  Injectable so tests can
+        drive gc with skewed or frozen clocks; entries' ``saved_at``
+        headers always come from the *writer's* clock and are clamped
+        into this reader-side domain by :attr:`StoreEntry.last_used`.
 
     All methods are safe to call from concurrent threads: the filesystem
     operations are atomic (write-temp-then-rename) and the in-process
@@ -181,6 +239,10 @@ class PlanStore:
     #: temp files older than this are considered crashed-writer litter
     #: and reaped by :meth:`gc`; younger ones may be mid-write
     TMP_REAP_SECONDS = 3600.0
+    #: :meth:`put_delta` refuses links that would make a chain longer
+    #: than this — load cost grows with depth, so past it the caller
+    #: falls back to persisting a full plan (resetting the chain)
+    MAX_CHAIN_DEPTH = 8
 
     def __init__(
         self,
@@ -190,17 +252,25 @@ class PlanStore:
         mmap: bool = True,
         shards: int | None = None,
         max_idle_seconds: float | None = None,
+        compact_depth: int | None = 4,
+        clock=time.time,
     ) -> None:
         if shards is not None and not 1 <= int(shards) <= 4096:
             raise ValueError(f"store shards must be in 1..4096; got {shards}")
         if max_idle_seconds is not None and max_idle_seconds <= 0:
             raise ValueError("store max_idle_seconds must be > 0 (or None)")
+        if compact_depth is not None and compact_depth < 1:
+            raise ValueError("store compact_depth must be >= 1 (or None)")
         self.root = Path(root) if root is not None else default_store_root()
         self.max_bytes = max_bytes
         self.admit_min_seconds = float(admit_min_seconds)
         self.mmap = mmap
         self.shards = int(shards) if shards is not None else None
         self.max_idle_seconds = max_idle_seconds
+        self.compact_depth = (
+            int(compact_depth) if compact_depth is not None else None
+        )
+        self.clock = clock
         self._stats_lock = create_lock("PlanStore._stats_lock")
         self.stats = StoreStats()  #: guarded_by: _stats_lock
 
@@ -221,14 +291,39 @@ class PlanStore:
         version check on load, and are quarantined on first contact —
         rather than lingering invisibly at version-tagged paths forever.
         """
+        return PlanStore._digest_parts(
+            fp.full, device, config_fingerprint(config)
+        )
+
+    @staticmethod
+    def _digest_parts(fp_parts, device: str, config_fp: str) -> str:
+        """:meth:`digest` from pre-computed parts — what chain
+        resolution uses, since an accdelta header stores the base's
+        fingerprint fields and the config *fingerprint* (not the
+        config object) and must resolve the identical path."""
         tag = "|".join(
-            [
-                *(str(part) for part in fp.full),
-                str(device),
-                config_fingerprint(config),
-            ]
+            [*(str(part) for part in fp_parts), str(device), str(config_fp)]
         )
         return _digest(tag.encode())
+
+    @staticmethod
+    def _header_digest(meta: dict) -> str | None:
+        """The digest an accdelta header's *base* resolves to, or
+        ``None`` when the header lacks the lineage fields."""
+        try:
+            bf = meta["base_fingerprint"]
+            parts = (
+                int(bf["n_rows"]),
+                int(bf["n_cols"]),
+                int(bf["nnz"]),
+                str(bf["structure"]),
+                str(bf["values"]),
+            )
+            return PlanStore._digest_parts(
+                parts, str(meta["device"]), str(meta["config_fp"])
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
 
     def _dir_for(self, digest: str) -> Path:
         """The directory an entry lives in (a ``shard-NN/`` when sharded).
@@ -276,8 +371,22 @@ class PlanStore:
         self._count("hits")
         return plan
 
-    def _load(self, path: Path, expect_fp: MatrixFingerprint | None = None):
-        """Load one entry file; quarantine and return ``None`` on failure."""
+    def _load(
+        self,
+        path: Path,
+        expect_fp: MatrixFingerprint | None = None,
+        _depth: int = 0,
+    ):
+        """Load one entry file; quarantine and return ``None`` on failure.
+
+        An ``accdelta`` entry resolves its whole chain: the base entry
+        loads recursively (each link a plan or a further delta),
+        :meth:`~repro.core.planner.AccPlan.apply_delta` replays the
+        edits, and the resulting matrix's fingerprint is verified
+        against the link's header before anything is returned — a chain
+        can be slow, never wrong.  Every link touched refreshes its
+        mtime, so a live chain's links age together under TTL gc.
+        """
         from repro.serve import serial
 
         if not path.is_file():
@@ -286,17 +395,19 @@ class PlanStore:
             header, arrays = serial.unpack_container(
                 path=path
             ) if self.mmap else serial.unpack_container(path.read_bytes())
-            if header.get("kind") != "accplan":
-                raise StoreError(
-                    f"store entry is a {header.get('kind')!r} container"
-                )
+            kind = header.get("kind")
+            if kind == "accdelta":
+                plan = self._resolve_delta(path, header, arrays, _depth)
+            elif kind == "accplan":
+                plan = serial.plan_from_payload(header["meta"], arrays)
+            else:
+                raise StoreError(f"store entry is a {kind!r} container")
             if expect_fp is not None:
                 stored = serial.expected_fingerprint(header)
                 if stored != expect_fp:
                     raise StoreError(
                         "fingerprint mismatch (stale or colliding entry)"
                     )
-            plan = serial.plan_from_payload(header["meta"], arrays)
         except Exception as exc:  # noqa: BLE001 - the "never raises on a
             # bad entry" guarantee: expected decode failures arrive as
             # StoreError/OSError, but a hostile or bit-rotted file must
@@ -307,6 +418,43 @@ class PlanStore:
             os.utime(path)  # recency for gc; best-effort
         except OSError:
             pass
+        return plan
+
+    def _resolve_delta(self, path: Path, header: dict, arrays: dict, depth: int):
+        """Materialise the plan an accdelta entry describes (one link).
+
+        Raises :class:`StoreError` — the caller quarantines — when the
+        chain is too deep, the base is missing/bad, or the replayed
+        matrix does not hash to the fingerprint this link recorded.
+        """
+        from repro.serve import serial
+        from repro.serve.fingerprint import fingerprint
+
+        if depth >= self.MAX_CHAIN_DEPTH:
+            raise StoreError(
+                f"delta chain deeper than MAX_CHAIN_DEPTH="
+                f"{self.MAX_CHAIN_DEPTH} (cycle or unbounded lineage)"
+            )
+        meta = header["meta"]
+        base_digest = self._header_digest(meta)
+        if base_digest is None:
+            raise StoreError("accdelta header missing lineage fields")
+        base_fp = serial.base_fingerprint(header)
+        base = self._load(
+            self.path_for(base_digest), expect_fp=base_fp, _depth=depth + 1
+        )
+        if base is None:
+            raise StoreError(
+                f"delta chain base {base_digest[:12]} missing or invalid"
+            )
+        delta = serial.delta_from_payload(meta, arrays)
+        plan = base.apply_delta(delta)
+        stored = serial.expected_fingerprint(header)
+        if fingerprint(plan.csr) != stored:
+            raise StoreError(
+                "delta replay produced a different matrix than this "
+                "link recorded (corrupt chain)"
+            )
         return plan
 
     def _quarantine(self, path: Path, reason: str) -> None:
@@ -341,25 +489,87 @@ class PlanStore:
             return False
         try:
             data = plan.to_bytes()
-            path = self.path_for(self.digest(fp, device, config))
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # temp file in the *entry's own* directory: os.replace stays
-            # same-directory (atomic, no cross-shard rename traffic)
-            fd, tmp = tempfile.mkstemp(
-                dir=path.parent, prefix=".tmp-", suffix=self.SUFFIX
-            )
+            self._publish(self.path_for(self.digest(fp, device, config)), data)
+        except (OSError, StoreError):
+            self._count("put_errors")
+            return False
+        self._count("puts")
+        if self.max_bytes is not None or self.max_idle_seconds is not None:
+            self.gc(self.max_bytes)
+        return True
+
+    def _publish(self, path: Path, data: bytes) -> None:
+        """Atomically write one entry file (write-temp-then-rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # temp file in the *entry's own* directory: os.replace stays
+        # same-directory (atomic, no cross-shard rename traffic)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=self.SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)  # atomic publication
+        except BaseException:
             try:
-                with os.fdopen(fd, "wb") as fh:
-                    fh.write(data)
-                    fh.flush()
-                    os.fsync(fh.fileno())
-                os.replace(tmp, path)  # atomic publication
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def put_delta(
+        self,
+        base_fp: MatrixFingerprint,
+        new_fp: MatrixFingerprint,
+        device: str,
+        config,
+        delta,
+        build_seconds: float = 0.0,
+    ) -> bool:
+        """Persist one delta-chain link; ``True`` if stored.
+
+        The link lives at the *edited* matrix's content address — a
+        reader asking :meth:`get` for the new fingerprint resolves the
+        chain transparently.  Returns ``False`` (so callers fall back
+        to a full :meth:`put`, resetting the chain) when the base entry
+        is absent or unreadable, the chain would exceed
+        :data:`MAX_CHAIN_DEPTH`, or the write fails.  Admission is not
+        cost-gated like :meth:`put`: a link is small and only ever
+        written for plans whose base was already worth persisting.
+        """
+        from repro.serve import serial
+
+        base_path = self.path_for(self.digest(base_fp, device, config))
+        try:
+            header, _, _ = serial.read_header_from_file(base_path)
+        except (StoreError, OSError):
+            return False
+        if header.get("kind") == "accdelta":
+            try:
+                depth = int(header["meta"].get("depth", 0)) + 1
+            except (KeyError, TypeError, ValueError):
+                return False
+        elif header.get("kind") == "accplan":
+            depth = 1
+        else:
+            return False
+        if depth > self.MAX_CHAIN_DEPTH:
+            return False
+        try:
+            data = serial.delta_to_bytes(
+                delta,
+                base_fp,
+                new_fp,
+                str(device),
+                config,
+                float(build_seconds),
+                depth,
+            )
+            self._publish(
+                self.path_for(self.digest(new_fp, device, config)), data
+            )
         except (OSError, StoreError):
             self._count("put_errors")
             return False
@@ -371,10 +581,15 @@ class PlanStore:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def entries(self) -> list[StoreEntry]:
-        """All decodable entries (header-only scan, payloads untouched)."""
+    def entries(self, now: float | None = None) -> list[StoreEntry]:
+        """All decodable entries (header-only scan, payloads untouched).
+
+        Each entry is stamped with ``now`` (default: this store's
+        clock), the domain :attr:`StoreEntry.last_used` clamps into.
+        """
         from repro.serve import serial
 
+        now = float(self.clock()) if now is None else float(now)
         out = []
         paths = sorted(
             path
@@ -391,8 +606,10 @@ class PlanStore:
             try:
                 header, _, _ = serial.read_header_from_file(path)
                 meta = header.get("meta", {})
+                kind = header.get("kind")
             except (StoreError, OSError, ValueError):
                 meta = None
+                kind = None
             out.append(
                 StoreEntry(
                     digest=path.stem,
@@ -400,6 +617,8 @@ class PlanStore:
                     nbytes=st.st_size,
                     mtime=st.st_mtime,
                     meta=meta,
+                    kind=kind,
+                    now=now,
                 )
             )
         return out
@@ -412,35 +631,50 @@ class PlanStore:
         max_bytes: int | None = None,
         max_idle_seconds: float | None = None,
         now: float | None = None,
+        compact_depth: int | None = None,
     ) -> list[StoreEntry]:
         """Drop stale entries, then evict down to ``max_bytes``; returns
         everything removed.
 
-        Two passes over one directory scan:
+        Three passes over one directory scan:
 
-        1. **TTL** — entries whose :attr:`StoreEntry.last_used` is older
+        1. **Chain compaction** — delta chains of ``compact_depth`` or
+           more links are rewritten in place as full plans (load cost
+           grows with depth; compaction also severs the entry's
+           dependence on its base, freeing the base for eviction).
+        2. **TTL** — entries whose :attr:`StoreEntry.last_used` is older
            than ``max_idle_seconds`` (their matrices stopped arriving)
            are dropped regardless of the byte budget.  An entry loaded
            or written since the cutoff is never touched by this pass.
-        2. **Byte budget** — cost-aware: survivors are ranked by recorded
+        3. **Byte budget** — cost-aware: survivors are ranked by recorded
            ``build_seconds`` ascending (cheapest to rebuild goes first),
            ties — and unreadable headers, which rank cheapest — broken
            towards the oldest ``last_used``.
 
+        The eviction passes never orphan a chain: before removing an
+        entry that surviving deltas use as their base, those direct
+        dependents are compacted to full plans; if that fails the base
+        is kept.
+
         ``None`` arguments fall back to the store's configured budgets;
         with neither budget, gc only removes leftover temp files.
-        ``now`` overrides the TTL reference time (tests).
+        ``now`` overrides the TTL reference time (tests); it defaults to
+        this store's injectable clock, the one domain every entry's
+        ``last_used`` is clamped into.
         """
         budget = self.max_bytes if max_bytes is None else max_bytes
         max_idle = (
             self.max_idle_seconds if max_idle_seconds is None
             else max_idle_seconds
         )
-        now = time.time() if now is None else now
+        min_depth = (
+            self.compact_depth if compact_depth is None else compact_depth
+        )
+        now = float(self.clock()) if now is None else float(now)
         # reap temp files from *crashed* writers only: an age threshold
         # keeps gc (possibly run by another worker's put) from deleting
         # a temp file a live writer is between mkstemp and os.replace on
-        cutoff = time.time() - self.TMP_REAP_SECONDS
+        cutoff = float(self.clock()) - self.TMP_REAP_SECONDS
         for d in self._entry_dirs():
             for tmp in d.glob(f".tmp-*{self.SUFFIX}"):
                 try:
@@ -448,9 +682,42 @@ class PlanStore:
                         tmp.unlink()
                 except OSError:
                     pass
+        entries = self.entries(now=now)
+        if min_depth is not None:
+            compacted = False
+            for entry in entries:
+                if entry.is_delta and entry.chain_depth >= min_depth:
+                    compacted |= self._compact_entry(entry.path)
+            if compacted:
+                entries = self.entries(now=now)  # sizes/kinds changed
         if budget is None and max_idle is None:
             return []
-        entries = self.entries()
+        # base digest -> direct dependents still on disk; consulted (and
+        # maintained) by both eviction passes so no chain is orphaned
+        dependents: dict[str, list[StoreEntry]] = {}
+        for entry in entries:
+            if entry.is_delta and entry.meta is not None:
+                base_digest = self._header_digest(entry.meta)
+                if base_digest is not None:
+                    dependents.setdefault(base_digest, []).append(entry)
+
+        def release(entry: StoreEntry) -> bool:
+            """Sever any surviving dependents of ``entry`` (compacting
+            them to full plans); False keeps the entry on disk.
+
+            A compacted dependent grows on disk without adjusting the
+            byte pass's running total — the next gc sees true sizes.
+            """
+            for dep in dependents.get(entry.digest, []):
+                if dep.path.is_file() and dep.kind == "accdelta":
+                    try:
+                        still_delta = _read_kind(dep.path) == "accdelta"
+                    except (StoreError, OSError):
+                        still_delta = False
+                    if still_delta and not self._compact_entry(dep.path):
+                        return False
+            return True
+
         evicted: list[StoreEntry] = []
         if max_idle is not None:
             idle_cutoff = now - max_idle
@@ -458,6 +725,9 @@ class PlanStore:
             for entry in entries:
                 if entry.last_used >= idle_cutoff:
                     fresh.append(entry)
+                    continue
+                if not release(entry):
+                    fresh.append(entry)  # keep: a dependent needs it
                     continue
                 try:
                     entry.path.unlink()
@@ -475,6 +745,8 @@ class PlanStore:
             ):
                 if total <= budget:
                     break
+                if not release(entry):
+                    continue
                 try:
                     entry.path.unlink()
                 except FileNotFoundError:
@@ -489,6 +761,23 @@ class PlanStore:
                 total -= entry.nbytes
                 evicted.append(entry)
         return evicted
+
+    def _compact_entry(self, path: Path) -> bool:
+        """Rewrite one accdelta entry in place as a full accplan.
+
+        Resolves the chain (with full fingerprint verification), then
+        atomically replaces the link file; the entry keeps its content
+        address, so readers and deeper dependents are unaffected.
+        """
+        plan = self._load(path)
+        if plan is None:
+            return False  # _load already quarantined the bad link
+        try:
+            self._publish(path, plan.to_bytes())
+        except (OSError, StoreError):
+            self._count("put_errors")
+            return False
+        return True
 
     def clear_quarantine(self) -> int:
         """Delete quarantined files; returns how many were removed."""

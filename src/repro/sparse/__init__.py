@@ -20,6 +20,7 @@ from repro.sparse.random import (
     road_network,
 )
 from repro.sparse.datasets import DATASETS, DatasetSpec, load_dataset, list_datasets
+from repro.sparse.delta import GraphDelta
 from repro.sparse.ops import (
     add,
     diagonal,
@@ -51,6 +52,7 @@ __all__ = [
     "road_network",
     "DATASETS",
     "DatasetSpec",
+    "GraphDelta",
     "load_dataset",
     "list_datasets",
     "add",

@@ -567,7 +567,7 @@ class TestStoreTTL:
         stale = sorted(store.entries(), key=lambda e: e.build_seconds)
         ghost, live = stale[0], stale[1]
         ghost.path.unlink()  # the "concurrent" gc
-        store.entries = lambda: stale  # this gc saw the pre-race scan
+        store.entries = lambda now=None: stale  # this gc saw the pre-race scan
         evicted = store.gc(max_bytes=live.nbytes)
         assert evicted == []  # ghost not reported, live not sacrificed
         assert live.path.is_file()
@@ -578,7 +578,7 @@ class TestStoreTTL:
         store = self._populated(tmp_path, n=2)
         stale = store.entries()
         stale[0].path.unlink()
-        store.entries = lambda: stale
+        store.entries = lambda now=None: stale
         evicted = store.gc(
             max_idle_seconds=3600.0, now=time.time() + 7200.0
         )
@@ -714,8 +714,8 @@ class TestStoreSharding:
 # container version bump: v1 compat, error messages
 # ----------------------------------------------------------------------
 class TestVersionCompat:
-    def test_current_version_is_three_reads_back_to_one(self):
-        assert PLAN_FORMAT_VERSION == 3
+    def test_current_version_is_four_reads_back_to_one(self):
+        assert PLAN_FORMAT_VERSION == 4
         assert MIN_PLAN_FORMAT_VERSION == 1
 
     def test_v1_container_round_trips(self):

@@ -46,6 +46,7 @@ API_DOC_FILES = [
     ROOT / "docs" / "NUMERICS.md",
     ROOT / "docs" / "SERVER.md",
     ROOT / "docs" / "GPU.md",
+    ROOT / "docs" / "STREAMING.md",
 ]
 #: modules bare CamelCase names (and ALL_CAPS constants) resolve against
 API_NAMESPACES = [
@@ -62,7 +63,10 @@ API_NAMESPACES = [
     "repro.backend",
     "repro.backend.gpu",
     "repro.backend.loader",
+    "repro.kernels.base",
     "repro.kernels.executor",
+    "repro.reorder.base",
+    "repro.sparse.delta",
     "repro.tune",
     "repro.tune.policy",
     "repro.tune.space",
